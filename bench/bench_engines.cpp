@@ -1,0 +1,97 @@
+// M1 — microbenchmarks: engine and protocol throughput
+// (google-benchmark). Reported as ticks/second (async) or
+// node-updates/second (sync rounds).
+
+#include <benchmark/benchmark.h>
+
+#include "core/async_one_extra_bit.hpp"
+#include "core/two_choices.hpp"
+#include "core/voter.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/continuous_engine.hpp"
+#include "sim/sequential_engine.hpp"
+
+namespace plurality {
+namespace {
+
+constexpr std::uint64_t kN = 1 << 16;
+
+void BM_SequentialVoterTicks(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const CompleteGraph g(kN);
+  VoterAsync proto(g, assign_equal(kN, 64, rng));
+  std::uint64_t ticks = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(uniform_below(rng, kN));
+    proto.on_tick(u, rng);
+    ++ticks;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ticks));
+}
+BENCHMARK(BM_SequentialVoterTicks);
+
+void BM_SequentialTwoChoicesTicks(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  const CompleteGraph g(kN);
+  TwoChoicesAsync proto(g, assign_equal(kN, 64, rng));
+  std::uint64_t ticks = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(uniform_below(rng, kN));
+    proto.on_tick(u, rng);
+    ++ticks;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ticks));
+}
+BENCHMARK(BM_SequentialTwoChoicesTicks);
+
+void BM_AsyncOneExtraBitTicks(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  const CompleteGraph g(kN);
+  auto proto =
+      AsyncOneExtraBit<CompleteGraph>::make(g, assign_equal(kN, 64, rng));
+  std::uint64_t ticks = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(uniform_below(rng, kN));
+    proto.on_tick(u, rng);
+    ++ticks;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ticks));
+}
+BENCHMARK(BM_AsyncOneExtraBitTicks);
+
+void BM_SyncTwoChoicesRound(benchmark::State& state) {
+  Xoshiro256 rng(4);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const CompleteGraph g(n);
+  TwoChoicesSync proto(g, assign_equal(n, 64, rng));
+  for (auto _ : state) {
+    proto.execute_round(rng);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SyncTwoChoicesRound)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ContinuousEngineEventLoop(benchmark::State& state) {
+  // Cost of the event-queue machinery itself: heap pops/pushes plus
+  // exponential draws, amortized per tick of a trivial protocol.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Xoshiro256 rng(5);
+    const CompleteGraph g(n);
+    VoterAsync proto(g, assign_equal(n, 2, rng));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(run_continuous(proto, rng, 4.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n));
+}
+BENCHMARK(BM_ContinuousEngineEventLoop)->Arg(1 << 12)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace plurality
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// M1 — microbenchmarks: RNG and sampling primitive throughput
+// (google-benchmark). These are the per-tick costs every simulation
+// pays, so regressions here slow every experiment.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "graph/complete.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace plurality {
+namespace {
+
+void BM_SplitMix64(benchmark::State& state) {
+  SplitMix64 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_SplitMix64);
+
+void BM_Xoshiro256(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Xoshiro256);
+
+void BM_UniformBelow(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  const auto bound = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uniform_below(rng, bound));
+  }
+}
+BENCHMARK(BM_UniformBelow)->Arg(7)->Arg(1 << 16)->Arg(1 << 30);
+
+void BM_Exponential(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exponential(rng, 1.0));
+  }
+}
+BENCHMARK(BM_Exponential);
+
+void BM_Poisson(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  const auto mean = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poisson(rng, mean));
+  }
+}
+BENCHMARK(BM_Poisson)->Arg(4)->Arg(100);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<double>(i + 1);
+  }
+  const AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(16)->Arg(4096);
+
+void BM_CompleteGraphNeighbor(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  const CompleteGraph g(1 << 20);
+  NodeId u = 12345;
+  for (auto _ : state) {
+    u = g.sample_neighbor(u, rng);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_CompleteGraphNeighbor);
+
+}  // namespace
+}  // namespace plurality
+
+BENCHMARK_MAIN();

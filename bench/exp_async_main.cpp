@@ -1,0 +1,140 @@
+// E6 — Theorem 1.3 (the paper's headline): the asynchronous OneExtraBit
+// protocol reaches plurality consensus in Theta(log n) parallel time for
+// c1 >= (1+eps) c2 and k up to exp(log n / log log n). Two tables:
+//   6a) time vs n at fixed k — linear in ln(n) with high R^2;
+//   6b) time vs k at fixed n — near-flat for the phased protocol vs
+//       ~linear for asynchronous Two-Choices, with the extrapolated
+//       crossover k* printed (constants put k* beyond laptop k; the
+//       shapes are the reproducible claim).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/async_one_extra_bit.hpp"
+#include "core/two_choices.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/sequential_engine.hpp"
+
+using namespace plurality;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, /*default_reps=*/8);
+  bench::banner(ctx, "E6 (Theorem 1.3, main result)",
+                "async OneExtraBit solves plurality consensus in "
+                "Theta(log n) time, independent of k (k small vs n); "
+                "async Two-Choices pays ~linearly in k");
+
+  const std::uint64_t max_n = ctx.args.get_u64("max_n", 1ull << 16);
+  const std::uint32_t k_fixed =
+      static_cast<std::uint32_t>(ctx.args.get_u64("k", 8));
+
+  // ---- Table 6a: time vs n (k fixed, c1 = 1.5 c2, minorities tied).
+  Table growth("E6a: async OneExtraBit time vs n  (k=" +
+                   std::to_string(k_fixed) + ", c1=1.5*c2)",
+               {"n", "mean_time", "ci95", "win_rate", "success",
+                "time/ln(n)", "sched_budget"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::uint64_t sweep_point = 0;
+  for (std::uint64_t n = 2048; n <= max_n; n *= 2, ++sweep_point) {
+    const CompleteGraph g(n);
+    // c1 = 1.5 c2: bias = c2/2 -> c2 = 2n/(2k+1).
+    const std::uint64_t c2 = 2 * n / (2 * k_fixed + 1);
+    const std::uint64_t bias = c2 / 2;
+    const auto seeds = ctx.seeds_for(sweep_point);
+    double budget = 0.0;
+    const auto slots = run_repetitions_multi(
+        ctx.reps, 3, seeds,
+        [&](std::uint64_t, Xoshiro256& rng) {
+          auto proto = AsyncOneExtraBit<CompleteGraph>::make(
+              g, assign_plurality_bias(n, k_fixed, bias, rng));
+          budget = static_cast<double>(proto.schedule().total_length());
+          const auto result = run_sequential(proto, rng, 1e6);
+          return std::vector<double>{
+              result.time,
+              (result.consensus && result.winner == 0) ? 1.0 : 0.0,
+              result.consensus ? 1.0 : 0.0};
+        },
+        ctx.threads);
+    const Summary time = summarize(slots[0]);
+    const Summary wins = summarize(slots[1]);
+    const Summary success = summarize(slots[2]);
+    growth.row()
+        .cell(n)
+        .cell(time.mean, 1)
+        .cell(time.ci95_halfwidth, 1)
+        .cell(wins.mean, 2)
+        .cell(success.mean, 2)
+        .cell(time.mean / std::log(static_cast<double>(n)), 2)
+        .cell(budget, 0);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(time.mean);
+  }
+  growth.print(std::cout, ctx.csv);
+  bench::report_fit(ctx, "time = a + b*ln(n) fit", fit_log_x(xs, ys));
+
+  // ---- Table 6b: time vs k at fixed n, both protocols.
+  const std::uint64_t n = ctx.args.get_u64("n", 1ull << 13);
+  const CompleteGraph g(n);
+  Table versus("E6b: async time vs k  (n=" + std::to_string(n) +
+                   ", c1=2*c2, minorities tied)",
+               {"k", "oeb_time", "oeb_ci95", "oeb_win", "tc_time",
+                "tc_ci95", "tc_win"});
+  std::vector<double> ks;
+  std::vector<double> oeb_times;
+  std::vector<double> tc_times;
+  for (std::uint64_t k = 4; k <= 64; k *= 2, ++sweep_point) {
+    const std::uint64_t bias = n / (k + 1);
+    const auto seeds = ctx.seeds_for(sweep_point);
+    const auto slots = run_repetitions_multi(
+        ctx.reps, 4, seeds,
+        [&](std::uint64_t, Xoshiro256& rng) {
+          auto oeb = AsyncOneExtraBit<CompleteGraph>::make(
+              g, assign_plurality_bias(n, static_cast<ColorId>(k), bias,
+                                       rng));
+          const auto oeb_result = run_sequential(oeb, rng, 1e6);
+          TwoChoicesAsync tc(
+              g, assign_plurality_bias(n, static_cast<ColorId>(k), bias,
+                                       rng));
+          const auto tc_result = run_sequential(tc, rng, 1e6);
+          return std::vector<double>{
+              oeb_result.time,
+              (oeb_result.consensus && oeb_result.winner == 0) ? 1.0 : 0.0,
+              tc_result.time,
+              (tc_result.consensus && tc_result.winner == 0) ? 1.0 : 0.0};
+        },
+        ctx.threads);
+    const Summary oeb_time = summarize(slots[0]);
+    const Summary oeb_win = summarize(slots[1]);
+    const Summary tc_time = summarize(slots[2]);
+    const Summary tc_win = summarize(slots[3]);
+    versus.row()
+        .cell(k)
+        .cell(oeb_time.mean, 1)
+        .cell(oeb_time.ci95_halfwidth, 1)
+        .cell(oeb_win.mean, 2)
+        .cell(tc_time.mean, 1)
+        .cell(tc_time.ci95_halfwidth, 1)
+        .cell(tc_win.mean, 2);
+    ks.push_back(static_cast<double>(k));
+    oeb_times.push_back(oeb_time.mean);
+    tc_times.push_back(tc_time.mean);
+  }
+  versus.print(std::cout, ctx.csv);
+
+  const LinearFit tc_fit = fit_linear(ks, tc_times);
+  const LinearFit oeb_fit = fit_linear(ks, oeb_times);
+  bench::report_fit(ctx, "async Two-Choices time vs k (expect slope > 0)",
+                    tc_fit);
+  bench::report_fit(ctx, "async OneExtraBit time vs k (expect slope ~ 0)",
+                    oeb_fit);
+  if (!ctx.csv && tc_fit.slope > oeb_fit.slope) {
+    const double k_star = (oeb_fit.intercept - tc_fit.intercept) /
+                          (tc_fit.slope - oeb_fit.slope);
+    std::printf(
+        "extrapolated crossover: async Two-Choices overtakes the phased "
+        "protocol's fixed Theta(log n) budget near k* ~ %.0f\n", k_star);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// B2 — robustness probe (ours): crash-stop faults. A fraction of nodes
+// silently stops ticking mid-run (their colors stay readable — the
+// adversarial case). Global consensus becomes unreachable once a
+// crashed node pins a dead color, so the table reports *live
+// agreement*: the fraction of surviving nodes on the live-plurality
+// color at the horizon, for both async Two-Choices and the phased
+// protocol.
+
+#include "bench_common.hpp"
+#include "core/async_one_extra_bit.hpp"
+#include "core/two_choices.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/crash.hpp"
+#include "sim/sequential_engine.hpp"
+
+using namespace plurality;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, /*default_reps=*/5);
+  bench::banner(ctx, "B2 (crash faults)",
+                "survivors should still agree (live agreement ~ 1) for "
+                "moderate crash fractions; crashed nodes pin stale "
+                "colors so global consensus is lost");
+
+  const std::uint64_t n = ctx.args.get_u64("n", 1ull << 12);
+  const CompleteGraph g(n);
+  const std::uint32_t k = 4;
+  const std::uint64_t bias = n / 4;
+  const std::uint64_t crash_tick = ctx.args.get_u64("crash_tick", 50);
+
+  Table table("B2: live agreement under crash-stop faults  (n=" +
+                  std::to_string(n) + ", k=4, crash at own tick " +
+                  std::to_string(crash_tick) + ")",
+              {"crash_frac", "protocol", "live_agree", "ci95",
+               "global_consensus"});
+
+  std::uint64_t sweep = 0;
+  for (const double fraction : {0.0, 0.05, 0.1, 0.25, 0.5}) {
+    for (const bool phased : {false, true}) {
+      const auto seeds = ctx.seeds_for(sweep++);
+      const auto slots = run_repetitions_multi(
+          ctx.reps, 2, seeds,
+          [&](std::uint64_t, Xoshiro256& rng) {
+            const auto plan =
+                crash_fraction_plan(n, fraction, crash_tick, rng);
+            auto workload = assign_plurality_bias(n, k, bias, rng);
+            if (phased) {
+              CrashAdapter<AsyncOneExtraBit<CompleteGraph>> proto(
+                  AsyncOneExtraBit<CompleteGraph>::make(
+                      g, std::move(workload)),
+                  plan);
+              const auto result = run_sequential(proto, rng, 2000.0);
+              return std::vector<double>{proto.live_agreement(),
+                                         result.consensus ? 1.0 : 0.0};
+            }
+            CrashAdapter<TwoChoicesAsync<CompleteGraph>> proto(
+                TwoChoicesAsync<CompleteGraph>(g, std::move(workload)),
+                plan);
+            const auto result = run_sequential(proto, rng, 2000.0);
+            return std::vector<double>{proto.live_agreement(),
+                                       result.consensus ? 1.0 : 0.0};
+          },
+          ctx.threads);
+      const Summary agree = summarize(slots[0]);
+      table.row()
+          .cell(fraction, 2)
+          .cell(phased ? "async_oneextrabit" : "async_two_choices")
+          .cell(agree.mean, 4)
+          .cell(agree.ci95_halfwidth, 4)
+          .cell(summarize(slots[1]).mean, 2);
+    }
+  }
+  table.print(std::cout, ctx.csv);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E9 — §1 / ref [4]: the sequential model (uniform node per step,
+// time = steps/n) and the continuous Poisson-clock model give the same
+// run time. The table runs the same protocols under both engines and
+// compares the consensus-time distributions.
+
+#include "bench_common.hpp"
+#include "core/three_majority.hpp"
+#include "core/two_choices.hpp"
+#include "core/voter.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/continuous_engine.hpp"
+#include "sim/sequential_engine.hpp"
+
+using namespace plurality;
+
+namespace {
+
+template <typename MakeProto>
+void compare_models(const bench::Context& ctx, Table& table,
+                    const std::string& name, std::uint64_t sweep_point,
+                    MakeProto&& make_proto) {
+  const auto seeds_seq = ctx.seeds_for(sweep_point * 2);
+  const auto seq = run_repetitions(
+      ctx.reps, seeds_seq,
+      [&](std::uint64_t, Xoshiro256& rng) {
+        auto proto = make_proto(rng);
+        return run_sequential(proto, rng, 1e6).time;
+      },
+      ctx.threads);
+  const auto seeds_cont = ctx.seeds_for(sweep_point * 2 + 1);
+  const auto cont = run_repetitions(
+      ctx.reps, seeds_cont,
+      [&](std::uint64_t, Xoshiro256& rng) {
+        auto proto = make_proto(rng);
+        return run_continuous(proto, rng, 1e6).time;
+      },
+      ctx.threads);
+  const Summary s = summarize(seq);
+  const Summary c = summarize(cont);
+  table.row()
+      .cell(name)
+      .cell(s.mean, 2)
+      .cell(s.ci95_halfwidth, 2)
+      .cell(s.median, 2)
+      .cell(c.mean, 2)
+      .cell(c.ci95_halfwidth, 2)
+      .cell(c.median, 2)
+      .cell(s.mean / c.mean, 3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, /*default_reps=*/30);
+  bench::banner(ctx, "E9 (model equivalence, ref [4])",
+                "sequential and continuous-time asynchronous models give "
+                "the same run time (ratio ~ 1)");
+
+  const std::uint64_t n = ctx.args.get_u64("n", 1ull << 12);
+  const CompleteGraph g(n);
+
+  Table table("E9: sequential vs continuous consensus time  (n=" +
+                  std::to_string(n) + ")",
+              {"protocol", "seq_mean", "seq_ci95", "seq_med", "cont_mean",
+               "cont_ci95", "cont_med", "seq/cont"});
+
+  compare_models(ctx, table, "two_choices (c1=3n/4)", 0,
+                 [&](Xoshiro256& rng) {
+                   return TwoChoicesAsync<CompleteGraph>(
+                       g, assign_two_colors(n, (n * 3) / 4, rng));
+                 });
+  compare_models(ctx, table, "two_choices k=8 tied", 1,
+                 [&](Xoshiro256& rng) {
+                   return TwoChoicesAsync<CompleteGraph>(
+                       g, assign_plurality_bias(n, 8, n / 17, rng));
+                 });
+  compare_models(ctx, table, "three_majority (c1=3n/4)", 2,
+                 [&](Xoshiro256& rng) {
+                   return ThreeMajorityAsync<CompleteGraph>(
+                       g, assign_two_colors(n, (n * 3) / 4, rng));
+                 });
+  compare_models(ctx, table, "voter (c1=7n/8)", 3, [&](Xoshiro256& rng) {
+    return VoterAsync<CompleteGraph>(
+        g, assign_two_colors(n, (n * 7) / 8, rng));
+  });
+
+  table.print(std::cout, ctx.csv);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E10 — §4 extension: exponentially distributed response delays with a
+// constant rate should leave the asynchronous protocol's O(log n) run
+// time intact (up to constants). The table sweeps the delay rate mu
+// (mean delay 1/mu) on the delayed protocol, with the instant-response
+// protocol as the baseline row.
+
+#include "bench_common.hpp"
+#include "core/async_one_extra_bit.hpp"
+#include "core/delayed.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/continuous_engine.hpp"
+
+using namespace plurality;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, /*default_reps=*/5);
+  bench::banner(ctx, "E10 (response delays, §4)",
+                "constant-mean exponential response delays preserve the "
+                "Theta(log n) run time; only huge delays (>> block "
+                "length) degrade the protocol");
+
+  const std::uint64_t n = ctx.args.get_u64("n", 1ull << 12);
+  const CompleteGraph g(n);
+  const std::uint32_t k = 4;
+  const std::uint64_t bias = n / 4;  // comfortably in the theorem regime
+
+  Table table("E10: async OneExtraBit under response delays  (n=" +
+                  std::to_string(n) + ", k=4)",
+              {"mean_delay", "mean_time", "ci95", "win_rate", "success"});
+
+  // Baseline: instant responses (the paper's base model).
+  {
+    const auto seeds = ctx.seeds_for(0);
+    const auto slots = run_repetitions_multi(
+        ctx.reps, 3, seeds,
+        [&](std::uint64_t, Xoshiro256& rng) {
+          auto proto = AsyncOneExtraBit<CompleteGraph>::make(
+              g, assign_plurality_bias(n, k, bias, rng));
+          const auto result = run_continuous(proto, rng, 1e5);
+          return std::vector<double>{
+              result.time,
+              (result.consensus && result.winner == 0) ? 1.0 : 0.0,
+              result.consensus ? 1.0 : 0.0};
+        },
+        ctx.threads);
+    const Summary time = summarize(slots[0]);
+    table.row()
+        .cell("0 (instant)")
+        .cell(time.mean, 1)
+        .cell(time.ci95_halfwidth, 1)
+        .cell(summarize(slots[1]).mean, 2)
+        .cell(summarize(slots[2]).mean, 2);
+  }
+
+  std::uint64_t sweep_point = 1;
+  for (const double rate : {20.0, 4.0, 1.0, 0.25}) {
+    const auto seeds = ctx.seeds_for(sweep_point++);
+    const auto slots = run_repetitions_multi(
+        ctx.reps, 3, seeds,
+        [&](std::uint64_t, Xoshiro256& rng) {
+          auto proto = AsyncOneExtraBitDelayed<CompleteGraph>::make(
+              g, assign_plurality_bias(n, k, bias, rng), rate);
+          const auto result = run_continuous_messaging(proto, rng, 1e5);
+          return std::vector<double>{
+              result.time,
+              (result.consensus && result.winner == 0) ? 1.0 : 0.0,
+              result.consensus ? 1.0 : 0.0};
+        },
+        ctx.threads);
+    const Summary time = summarize(slots[0]);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.2f", 1.0 / rate);
+    table.row()
+        .cell(label)
+        .cell(time.mean, 1)
+        .cell(time.ci95_halfwidth, 1)
+        .cell(summarize(slots[1]).mean, 2)
+        .cell(summarize(slots[2]).mean, 2);
+  }
+
+  table.print(std::cout, ctx.csv);
+  return 0;
+}

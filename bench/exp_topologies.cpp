@@ -1,0 +1,90 @@
+// A2 — topology extension (ours): the paper's protocols are stated for
+// the clique; this table runs asynchronous Two-Choices and Voter on the
+// clique, a dense Erdős–Rényi graph, a random 8-regular graph, a 2D
+// torus, and the ring. Expanders track the clique; low-expansion
+// topologies slow down dramatically (censored at the horizon).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/two_choices.hpp"
+#include "core/voter.hpp"
+#include "graph/complete.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "graph/random_regular.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/sequential_engine.hpp"
+
+using namespace plurality;
+
+namespace {
+
+template <typename G>
+void measure(const bench::Context& ctx, Table& table,
+             const std::string& name, const G& g, std::uint64_t n,
+             double horizon, std::uint64_t sweep_point) {
+  const std::uint64_t c1 = (n * 3) / 4;
+  const auto seeds = ctx.seeds_for(sweep_point);
+  const auto slots = run_repetitions_multi(
+      ctx.reps, 4, seeds,
+      [&](std::uint64_t, Xoshiro256& rng) {
+        TwoChoicesAsync tc(g, assign_two_colors(n, c1, rng));
+        const auto tc_result = run_sequential(tc, rng, horizon);
+        VoterAsync voter(g, assign_two_colors(n, c1, rng));
+        const auto voter_result = run_sequential(voter, rng, horizon);
+        return std::vector<double>{
+            tc_result.time, tc_result.consensus ? 1.0 : 0.0,
+            voter_result.time, voter_result.consensus ? 1.0 : 0.0};
+      },
+      ctx.threads);
+  table.row()
+      .cell(name)
+      .cell(summarize(slots[0]).mean, 1)
+      .cell(summarize(slots[1]).mean, 2)
+      .cell(summarize(slots[2]).mean, 1)
+      .cell(summarize(slots[3]).mean, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, /*default_reps=*/5);
+  bench::banner(ctx, "A2 (topology extension)",
+                "expander-like graphs track the clique's consensus time; "
+                "ring/torus are drastically slower (censored at horizon)");
+
+  const std::uint64_t n = ctx.args.get_u64("n", 4096);
+  const double horizon = ctx.args.get_double("horizon", 2000.0);
+  Xoshiro256 build_rng(ctx.master_seed);
+
+  Table table("A2: async consensus time by topology  (n=" +
+                  std::to_string(n) + ", c1=3n/4, horizon=" +
+                  std::to_string(static_cast<int>(horizon)) + ")",
+              {"topology", "tc_time", "tc_done", "voter_time",
+               "voter_done"});
+
+  const CompleteGraph complete(n);
+  measure(ctx, table, "complete", complete, n, horizon, 0);
+
+  const double p =
+      3.0 * std::log(static_cast<double>(n)) / static_cast<double>(n);
+  const ErdosRenyiGraph er(n, p, build_rng);
+  measure(ctx, table, "erdos_renyi(3lnN/n)", er, n, horizon, 1);
+
+  const RandomRegularGraph regular(n, 8, build_rng);
+  measure(ctx, table, "random_8_regular", regular, n, horizon, 2);
+
+  const auto side = static_cast<std::uint32_t>(std::sqrt(n));
+  const TorusGraph torus(side, side);
+  measure(ctx, table, "torus_" + std::to_string(side) + "x" +
+                          std::to_string(side),
+          torus, std::uint64_t{side} * side, horizon, 3);
+
+  const RingGraph ring(n);
+  measure(ctx, table, "ring", ring, n, horizon, 4);
+
+  table.print(std::cout, ctx.csv);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E1 — Theorem 1.1 (upper bound): synchronous Two-Choices with k = 2 and
+// bias sqrt(n ln n) converges in O(n/c1 * log n) = O(log n) rounds (c1 is
+// a constant fraction). The table sweeps n; the fit of rounds against
+// ln(n) should be linear with a small slope and high R^2.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/two_choices.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/sync_driver.hpp"
+
+using namespace plurality;
+
+int main(int argc, char** argv) {
+  bench::Context ctx(argc, argv, /*default_reps=*/10);
+  bench::banner(ctx, "E1 (Theorem 1.1 upper, k=2)",
+                "Two-Choices converges within O(n/c1 * log n) rounds given "
+                "bias >= z*sqrt(n log n); with k=2 that is O(log n)");
+
+  const std::uint64_t max_n = ctx.args.get_u64("max_n", 1ull << 17);
+
+  Table table("E1: sync Two-Choices rounds vs n  (k=2, bias=sqrt(n ln n))",
+              {"n", "bias", "mean_rounds", "ci95", "median", "p90",
+               "win_rate_C1", "rounds/ln(n)"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+
+  std::uint64_t sweep_point = 0;
+  for (std::uint64_t n = 1024; n <= max_n; n *= 2, ++sweep_point) {
+    const auto bias = static_cast<std::uint64_t>(std::sqrt(
+        static_cast<double>(n) * std::log(static_cast<double>(n))));
+    const CompleteGraph g(n);
+    const auto seeds = ctx.seeds_for(sweep_point);
+
+    const auto slots = run_repetitions_multi(
+        ctx.reps, 2, seeds,
+        [&](std::uint64_t, Xoshiro256& rng) {
+          TwoChoicesSync proto(
+              g, assign_two_colors(n, n / 2 + bias / 2, rng));
+          const auto result = run_sync(proto, rng, 100000);
+          return std::vector<double>{
+              static_cast<double>(result.rounds),
+              (result.consensus && result.winner == 0) ? 1.0 : 0.0};
+        },
+        ctx.threads);
+
+    const Summary rounds = summarize(slots[0]);
+    const Summary wins = summarize(slots[1]);
+    table.row()
+        .cell(n)
+        .cell(bias)
+        .cell(rounds.mean, 1)
+        .cell(rounds.ci95_halfwidth, 1)
+        .cell(rounds.median, 1)
+        .cell(rounds.p90, 1)
+        .cell(wins.mean, 2)
+        .cell(rounds.mean / std::log(static_cast<double>(n)), 2);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(rounds.mean);
+  }
+
+  table.print(std::cout, ctx.csv);
+  bench::report_fit(ctx, "rounds = a + b*ln(n) fit", fit_log_x(xs, ys));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Sync Gadget demo: visualizes *weak synchronicity*. Runs the
+// asynchronous protocol twice — gadget enabled and disabled — to the
+// same horizon and renders the distribution of node working times
+// around the median as ASCII histograms. With the gadget, mass
+// concentrates near 0; without it, the distribution smears out with
+// sqrt(t) tails.
+//
+//   build/examples/example_sync_gadget_demo
+
+#include <cstdio>
+
+#include "core/async_one_extra_bit.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sim/sequential_engine.hpp"
+#include "stats/histogram.hpp"
+
+int main() {
+  using namespace plurality;
+
+  constexpr std::uint64_t kNodes = 8192;
+  constexpr ColorId kColors = 8;
+
+  for (const bool enabled : {true, false}) {
+    AsyncParams params;
+    params.sync_gadget_enabled = enabled;
+
+    Xoshiro256 rng(5);
+    const CompleteGraph g(kNodes);
+    auto proto = AsyncOneExtraBit<CompleteGraph>::make(
+        g, assign_plurality_bias(kNodes, kColors, kNodes / 8, rng),
+        params);
+
+    // Run to 80% of part 1 (no consensus shortcut distortion: the
+    // horizon is identical for both configurations).
+    const double horizon =
+        0.8 * static_cast<double>(proto.schedule().part1_length());
+    run_sequential(proto, rng, horizon);
+
+    const auto median =
+        static_cast<double>(proto.median_working_time());
+    Histogram hist(-60.0, 60.0, 24);
+    for (NodeId u = 0; u < kNodes; ++u) {
+      hist.add(static_cast<double>(proto.working_time_of(u)) - median);
+    }
+
+    std::printf(
+        "\n=== Sync Gadget %s ===  (t=%.0f, Delta=%llu, phase=%llu, "
+        "jumps=%llu)\nworking time - median:\n%s",
+        enabled ? "ON" : "OFF", horizon,
+        static_cast<unsigned long long>(proto.schedule().delta()),
+        static_cast<unsigned long long>(proto.schedule().phase_length()),
+        static_cast<unsigned long long>(proto.jumps_performed()),
+        hist.render(46).c_str());
+    std::printf("spread (max-min): %llu ticks\n",
+                static_cast<unsigned long long>(proto.working_time_spread()));
+  }
+
+  std::printf(
+      "\nThe gadget re-anchors every node's working time to the median "
+      "of sampled real times once per phase (the 'jump'), trading a "
+      "little per-phase noise for bounded long-run dispersion.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file one_extra_bit.hpp
+/// The synchronous OneExtraBit protocol (paper §2): phases combining one
+/// Two-Choices round with a Bit-Propagation sub-phase in the "memory
+/// model" (one extra transmittable bit per node).
+///
+/// Phase structure:
+///   * Two-Choices round: node u samples v, w; iff their colors coincide
+///     u adopts that color AND sets its bit. Otherwise the bit is
+///     cleared. The bit-set support of color Cj then concentrates around
+///     cj^2 / n.
+///   * Bit-Propagation rounds (Theta(log k + log log n) of them): a
+///     bit-less node samples one node per round and copies (color, bit)
+///     from any bit-set node it hits. This broadcasts the two-choices
+///     outcome to everyone while preserving the color distribution among
+///     bit-set nodes, so the support ratio c1/cj grows quadratically per
+///     phase (experiment E5 verifies; Theorem 1.2 gives the run time).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "opinion/assignment.hpp"
+#include "opinion/table.hpp"
+#include "rng/xoshiro256.hpp"
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace plurality {
+
+/// Tuning for OneExtraBitSync; zeros mean "derive from n and k".
+struct OneExtraBitParams {
+  /// Bit-Propagation rounds per phase. Default: ceil(log2 k) +
+  /// ceil(log2 ln n) + 4, the doubling time from n/k bit-set nodes to n
+  /// plus tail slack.
+  std::uint64_t bp_rounds = 0;
+};
+
+template <GraphTopology G>
+class OneExtraBitSync {
+ public:
+  OneExtraBitSync(const G& graph, Assignment assignment,
+                  OneExtraBitParams params = {})
+      : graph_(&graph),
+        table_(std::move(assignment.colors), assignment.num_colors) {
+    PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
+    const auto n = static_cast<double>(table_.num_nodes());
+    const auto k = static_cast<double>(table_.num_colors());
+    bp_rounds_ = params.bp_rounds > 0
+                     ? params.bp_rounds
+                     : ceil_at_least(std::log2(std::max(k, 2.0))) +
+                           ceil_at_least(std::log2(std::max(
+                               safe_ln(std::max(n, 3.0)), 2.0))) +
+                           4;
+    bit_.assign(table_.num_nodes(), 0);
+  }
+
+  /// One synchronous round; alternates per the phase machine.
+  void execute_round(Xoshiro256& rng) {
+    if (round_in_phase_ == 0) {
+      two_choices_round(rng);
+    } else {
+      bit_propagation_round(rng);
+    }
+    ++round_in_phase_;
+    if (round_in_phase_ > bp_rounds_) {
+      round_in_phase_ = 0;
+      ++phases_completed_;
+    }
+    ++rounds_;
+  }
+
+  /// Convenience: runs exactly one whole phase (used by E5).
+  void execute_phase(Xoshiro256& rng) {
+    PC_EXPECTS(round_in_phase_ == 0);
+    for (std::uint64_t r = 0; r <= bp_rounds_; ++r) execute_round(rng);
+    PC_ENSURES(round_in_phase_ == 0);
+  }
+
+  bool done() const noexcept { return table_.has_consensus(); }
+  const OpinionTable& table() const noexcept { return table_; }
+
+  std::uint64_t rounds() const noexcept { return rounds_; }
+  std::uint64_t phases_completed() const noexcept {
+    return phases_completed_;
+  }
+  std::uint64_t bp_rounds_per_phase() const noexcept { return bp_rounds_; }
+  bool at_phase_start() const noexcept { return round_in_phase_ == 0; }
+
+  /// Number of nodes whose extra bit is currently set.
+  std::uint64_t bits_set() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto b : bit_) total += b;
+    return total;
+  }
+
+ private:
+  void two_choices_round(Xoshiro256& rng) {
+    const auto n = static_cast<NodeId>(table_.num_nodes());
+    prev_colors_.assign(table_.colors().begin(), table_.colors().end());
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId v = graph_->sample_neighbor(u, rng);
+      const NodeId w = graph_->sample_neighbor(u, rng);
+      if (prev_colors_[v] == prev_colors_[w]) {
+        table_.set_color(u, prev_colors_[v]);
+        bit_[u] = 1;
+      } else {
+        bit_[u] = 0;
+      }
+    }
+  }
+
+  void bit_propagation_round(Xoshiro256& rng) {
+    const auto n = static_cast<NodeId>(table_.num_nodes());
+    prev_colors_.assign(table_.colors().begin(), table_.colors().end());
+    prev_bits_ = bit_;
+    for (NodeId u = 0; u < n; ++u) {
+      if (prev_bits_[u]) continue;
+      const NodeId v = graph_->sample_neighbor(u, rng);
+      if (prev_bits_[v]) {
+        table_.set_color(u, prev_colors_[v]);
+        bit_[u] = 1;
+      }
+    }
+  }
+
+  const G* graph_;
+  OpinionTable table_;
+  std::vector<std::uint8_t> bit_;
+  std::vector<ColorId> prev_colors_;
+  std::vector<std::uint8_t> prev_bits_;
+  std::uint64_t bp_rounds_ = 0;
+  std::uint64_t round_in_phase_ = 0;
+  std::uint64_t phases_completed_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace plurality

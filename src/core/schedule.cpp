@@ -1,0 +1,45 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/math.hpp"
+
+namespace plurality {
+
+AsyncSchedule::AsyncSchedule(std::uint64_t n, std::uint32_t k,
+                             AsyncParams params) {
+  PC_EXPECTS(n >= 3);
+  PC_EXPECTS(k >= 1);
+  PC_EXPECTS(params.delta_mult > 0.0);
+  PC_EXPECTS(params.bp_mult > 0.0);
+  PC_EXPECTS(params.sync_mult > 0.0);
+  PC_EXPECTS(params.phase_mult > 0.0);
+  PC_EXPECTS(params.extra_phases >= 0);
+  PC_EXPECTS(params.endgame_mult > 0.0);
+
+  const auto dn = static_cast<double>(n);
+  const double ln_n = safe_ln(dn);
+  const double lnln_n = ln_ln(dn);
+
+  delta_ = ceil_at_least(params.delta_mult * ln_n / lnln_n);
+  // B = Theta(ln n / ln ln n); the max with log2(k)+4 keeps the doubling
+  // argument valid for small n paired with large k (the theorem's regime
+  // k <= exp(log n / log log n) makes the first term dominate anyway).
+  bp_ticks_ = std::max(
+      ceil_at_least(params.bp_mult * ln_n / lnln_n),
+      ceil_at_least(std::log2(std::max<double>(k, 2.0))) + 4);
+  sync_ticks_ = ceil_at_least(params.sync_mult * lnln_n * lnln_n * lnln_n);
+  num_phases_ = ceil_at_least(params.phase_mult * lnln_n) +
+                static_cast<std::uint64_t>(params.extra_phases);
+  phase_length_ = 6 * delta_ + bp_ticks_ + sync_ticks_ + 1;
+  part1_length_ = num_phases_ * phase_length_;
+  endgame_ticks_ = ceil_at_least(params.endgame_mult * ln_n);
+  sync_enabled_ = params.sync_gadget_enabled;
+
+  PC_ENSURES(delta_ >= 1);
+  PC_ENSURES(phase_length_ > 6 * delta_);
+  PC_ENSURES(part1_length_ >= phase_length_);
+}
+
+}  // namespace plurality

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file schedule.hpp
+/// The working-time program of the asynchronous protocol (paper §3.1).
+/// A node's working time is an index into this fixed schedule; the
+/// schedule maps it to the instruction to perform. Phases consist of
+/// three sub-phases — Two-Choices, Bit-Propagation, Sync Gadget — padded
+/// with do-nothing blocks of length Delta that absorb clock jitter so
+/// that (all but o(n)) nodes execute the critical steps almost
+/// simultaneously ("weak synchronicity").
+///
+/// In-phase layout (offsets in working-time units, Delta = block length,
+/// B = bit-propagation ticks, S = sync-gadget sampling ticks):
+///
+///   [0, Delta)                 wait (jump landing zone — see below)
+///   [Delta]                    Two-Choices sample step
+///   (Delta, 3*Delta)           wait
+///   [3*Delta]                  commit step
+///   (3*Delta, 4*Delta)         wait
+///   [4*Delta, 4*Delta+B)       bit-propagation (one sample per tick)
+///   [4*Delta+B, 5*Delta+B)     wait
+///   [5*Delta+B, 5*Delta+B+S)   sync-gadget sampling (one per tick)
+///   [5*Delta+B+S, 6*Delta+B+S) wait ("proper waiting time")
+///   [6*Delta+B+S]              jump step
+///
+/// so phase_length = 6*Delta + B + S + 1. After `num_phases` phases
+/// (part 1) the node runs `endgame_ticks` of plain asynchronous
+/// Two-Choices (part 2, §3.2), then idles.
+///
+/// The leading wait block exists because the jump step sets the working
+/// time to (approximately) the population-median real time, which for a
+/// well-synchronized node lands just past the phase boundary: landing
+/// inside a wait block costs nothing, whereas a phase that opened with
+/// the Two-Choices sample would make every slightly-overshooting jump
+/// skip the critical instruction. This is precisely the "tactical
+/// waiting" role §3.1 assigns to the do-nothing blocks.
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace plurality {
+
+/// Multipliers for the Theta(.) expressions of the paper; defaults are
+/// the constants DESIGN.md documents (chosen so every experiment
+/// converges at laptop scales). The ablation experiment A1 sweeps them.
+struct AsyncParams {
+  double delta_mult = 1.0;    ///< Delta = delta_mult * ln n / ln ln n
+  double bp_mult = 3.0;       ///< B = bp_mult * ln n / ln ln n
+  double sync_mult = 1.0;     ///< S = sync_mult * (ln ln n)^3
+  double phase_mult = 2.0;    ///< phases = phase_mult * ln ln n + extra
+  int extra_phases = 4;       ///< additive slack absorbing small n
+  double endgame_mult = 8.0;  ///< endgame = endgame_mult * ln n
+  bool sync_gadget_enabled = true;  ///< ablation switch (experiment E7)
+};
+
+class AsyncSchedule {
+ public:
+  /// The instruction a working time maps to.
+  enum class Op : std::uint8_t {
+    kTwoChoicesSample,  ///< sample two neighbors, set intermediate color
+    kCommit,            ///< adopt intermediate color, set bit accordingly
+    kBitProp,           ///< if bit unset: sample; copy from bit-set node
+    kSyncSample,        ///< sample a neighbor's real time
+    kJump,              ///< set working time to median of samples
+    kWait,              ///< do nothing (tactical waiting)
+    kEndgame,           ///< plain async two-choices tick (part 2)
+    kDone               ///< program finished; idle
+  };
+
+  /// Derives all lengths from n (>= 3) and the number of colors k (>= 1).
+  AsyncSchedule(std::uint64_t n, std::uint32_t k, AsyncParams params = {});
+
+  Op op_at(std::uint64_t working_time) const noexcept {
+    if (working_time >= part1_length_) {
+      return working_time < part1_length_ + endgame_ticks_ ? Op::kEndgame
+                                                           : Op::kDone;
+    }
+    const std::uint64_t off = working_time % phase_length_;
+    if (off < delta_) return Op::kWait;  // jump landing zone
+    if (off == delta_) return Op::kTwoChoicesSample;
+    if (off < 3 * delta_) return Op::kWait;
+    if (off == 3 * delta_) return Op::kCommit;
+    if (off < 4 * delta_) return Op::kWait;
+    if (off < 4 * delta_ + bp_ticks_) return Op::kBitProp;
+    if (off < 5 * delta_ + bp_ticks_) return Op::kWait;
+    if (off < 5 * delta_ + bp_ticks_ + sync_ticks_) {
+      return sync_enabled_ ? Op::kSyncSample : Op::kWait;
+    }
+    if (off < 6 * delta_ + bp_ticks_ + sync_ticks_) return Op::kWait;
+    return sync_enabled_ ? Op::kJump : Op::kWait;
+  }
+
+  /// Phase index of a part-1 working time; num_phases() once beyond.
+  std::uint64_t phase_of(std::uint64_t working_time) const noexcept {
+    if (working_time >= part1_length_) return num_phases_;
+    return working_time / phase_length_;
+  }
+
+  std::uint64_t delta() const noexcept { return delta_; }
+  std::uint64_t bp_ticks() const noexcept { return bp_ticks_; }
+  std::uint64_t sync_ticks() const noexcept { return sync_ticks_; }
+  std::uint64_t phase_length() const noexcept { return phase_length_; }
+  std::uint64_t num_phases() const noexcept { return num_phases_; }
+  std::uint64_t part1_length() const noexcept { return part1_length_; }
+  std::uint64_t endgame_ticks() const noexcept { return endgame_ticks_; }
+  /// Total program length (part 1 + endgame).
+  std::uint64_t total_length() const noexcept {
+    return part1_length_ + endgame_ticks_;
+  }
+  bool sync_gadget_enabled() const noexcept { return sync_enabled_; }
+
+ private:
+  std::uint64_t delta_ = 0;
+  std::uint64_t bp_ticks_ = 0;
+  std::uint64_t sync_ticks_ = 0;
+  std::uint64_t phase_length_ = 0;
+  std::uint64_t num_phases_ = 0;
+  std::uint64_t part1_length_ = 0;
+  std::uint64_t endgame_ticks_ = 0;
+  bool sync_enabled_ = true;
+};
+
+}  // namespace plurality

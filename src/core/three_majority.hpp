@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file three_majority.hpp
+/// The 3-Majority dynamics: sample three uniform random neighbors and
+/// adopt the majority color among them; if all three differ, adopt the
+/// first sample. A standard comparison point in the plurality-consensus
+/// literature (Becchetti et al., SODA'16) with behavior close to
+/// Two-Choices on the clique; included as an extra baseline for the
+/// head-to-head experiments.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "opinion/assignment.hpp"
+#include "opinion/table.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace plurality {
+
+namespace detail {
+
+/// Majority of three colors; falls back to `a` when all three differ.
+inline ColorId majority_of_three(ColorId a, ColorId b, ColorId c) noexcept {
+  if (b == c) return b;
+  return a;  // covers a==b, a==c, and the all-distinct fallback
+}
+
+}  // namespace detail
+
+/// Synchronous 3-Majority.
+template <GraphTopology G>
+class ThreeMajoritySync {
+ public:
+  ThreeMajoritySync(const G& graph, Assignment assignment)
+      : graph_(&graph),
+        table_(std::move(assignment.colors), assignment.num_colors) {
+    PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
+  }
+
+  void execute_round(Xoshiro256& rng) {
+    const auto n = static_cast<NodeId>(table_.num_nodes());
+    prev_.assign(table_.colors().begin(), table_.colors().end());
+    for (NodeId u = 0; u < n; ++u) {
+      const ColorId a = prev_[graph_->sample_neighbor(u, rng)];
+      const ColorId b = prev_[graph_->sample_neighbor(u, rng)];
+      const ColorId c = prev_[graph_->sample_neighbor(u, rng)];
+      table_.set_color(u, detail::majority_of_three(a, b, c));
+    }
+    ++rounds_;
+  }
+
+  bool done() const noexcept { return table_.has_consensus(); }
+  const OpinionTable& table() const noexcept { return table_; }
+  std::uint64_t rounds() const noexcept { return rounds_; }
+
+ private:
+  const G* graph_;
+  OpinionTable table_;
+  std::vector<ColorId> prev_;
+  std::uint64_t rounds_ = 0;
+};
+
+/// Asynchronous 3-Majority.
+template <GraphTopology G>
+class ThreeMajorityAsync {
+ public:
+  ThreeMajorityAsync(const G& graph, Assignment assignment)
+      : graph_(&graph),
+        table_(std::move(assignment.colors), assignment.num_colors) {
+    PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
+  }
+
+  void on_tick(NodeId u, Xoshiro256& rng) {
+    const ColorId a = table_.color(graph_->sample_neighbor(u, rng));
+    const ColorId b = table_.color(graph_->sample_neighbor(u, rng));
+    const ColorId c = table_.color(graph_->sample_neighbor(u, rng));
+    table_.set_color(u, detail::majority_of_three(a, b, c));
+  }
+
+  std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
+  bool done() const noexcept { return table_.has_consensus(); }
+  const OpinionTable& table() const noexcept { return table_; }
+
+ private:
+  const G* graph_;
+  OpinionTable table_;
+};
+
+}  // namespace plurality

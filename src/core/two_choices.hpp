@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file two_choices.hpp
+/// The Two-Choices protocol (Cooper, Elsässer & Radzik, paper ref [2]):
+/// sample two uniform random neighbors with replacement; adopt their
+/// color iff the two samples coincide. Theorem 1.1 gives the clique
+/// run time O(n/c1 * log n) under bias z*sqrt(n log n) — which is
+/// Omega(k) when all minorities tie — and experiments E1–E3 reproduce
+/// both sides.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "opinion/assignment.hpp"
+#include "opinion/table.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace plurality {
+
+/// Synchronous Two-Choices: all nodes sample off the pre-round snapshot
+/// and update simultaneously.
+template <GraphTopology G>
+class TwoChoicesSync {
+ public:
+  TwoChoicesSync(const G& graph, Assignment assignment)
+      : graph_(&graph),
+        table_(std::move(assignment.colors), assignment.num_colors) {
+    PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
+  }
+
+  void execute_round(Xoshiro256& rng) {
+    const auto n = static_cast<NodeId>(table_.num_nodes());
+    prev_.assign(table_.colors().begin(), table_.colors().end());
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId v = graph_->sample_neighbor(u, rng);
+      const NodeId w = graph_->sample_neighbor(u, rng);
+      if (prev_[v] == prev_[w]) table_.set_color(u, prev_[v]);
+    }
+    ++rounds_;
+  }
+
+  bool done() const noexcept { return table_.has_consensus(); }
+  const OpinionTable& table() const noexcept { return table_; }
+  std::uint64_t rounds() const noexcept { return rounds_; }
+
+ private:
+  const G* graph_;
+  OpinionTable table_;
+  std::vector<ColorId> prev_;
+  std::uint64_t rounds_ = 0;
+};
+
+/// Asynchronous Two-Choices: a ticking node samples two neighbors and
+/// adopts on coincidence. Also serves as the endgame (part 2) of the
+/// paper's main asynchronous protocol.
+template <GraphTopology G>
+class TwoChoicesAsync {
+ public:
+  TwoChoicesAsync(const G& graph, Assignment assignment)
+      : graph_(&graph),
+        table_(std::move(assignment.colors), assignment.num_colors) {
+    PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
+  }
+
+  void on_tick(NodeId u, Xoshiro256& rng) {
+    const NodeId v = graph_->sample_neighbor(u, rng);
+    const NodeId w = graph_->sample_neighbor(u, rng);
+    const ColorId cv = table_.color(v);
+    if (cv == table_.color(w)) table_.set_color(u, cv);
+  }
+
+  std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
+  bool done() const noexcept { return table_.has_consensus(); }
+  const OpinionTable& table() const noexcept { return table_; }
+
+ private:
+  const G* graph_;
+  OpinionTable table_;
+};
+
+}  // namespace plurality

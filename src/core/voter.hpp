@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file voter.hpp
+/// The classic voter model (single choice): adopt the color of one
+/// uniformly sampled neighbor. It solves consensus but not *plurality*
+/// consensus — the winner is proportional to initial support, and the
+/// run time on the clique is Theta(n). Included as the canonical
+/// baseline the Two-Choices literature (paper ref [2]) improves on.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "opinion/assignment.hpp"
+#include "opinion/table.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace plurality {
+
+/// Synchronous voter: every node simultaneously copies a random
+/// neighbor's (pre-round) color.
+template <GraphTopology G>
+class VoterSync {
+ public:
+  VoterSync(const G& graph, Assignment assignment)
+      : graph_(&graph),
+        table_(std::move(assignment.colors), assignment.num_colors) {
+    PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
+  }
+
+  void execute_round(Xoshiro256& rng) {
+    const auto n = static_cast<NodeId>(table_.num_nodes());
+    prev_.assign(table_.colors().begin(), table_.colors().end());
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId v = graph_->sample_neighbor(u, rng);
+      table_.set_color(u, prev_[v]);
+    }
+    ++rounds_;
+  }
+
+  bool done() const noexcept { return table_.has_consensus(); }
+  const OpinionTable& table() const noexcept { return table_; }
+  std::uint64_t rounds() const noexcept { return rounds_; }
+
+ private:
+  const G* graph_;
+  OpinionTable table_;
+  std::vector<ColorId> prev_;
+  std::uint64_t rounds_ = 0;
+};
+
+/// Asynchronous voter: a ticking node copies a random neighbor's color.
+template <GraphTopology G>
+class VoterAsync {
+ public:
+  VoterAsync(const G& graph, Assignment assignment)
+      : graph_(&graph),
+        table_(std::move(assignment.colors), assignment.num_colors) {
+    PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
+  }
+
+  void on_tick(NodeId u, Xoshiro256& rng) {
+    const NodeId v = graph_->sample_neighbor(u, rng);
+    table_.set_color(u, table_.color(v));
+  }
+
+  std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
+  bool done() const noexcept { return table_.has_consensus(); }
+  const OpinionTable& table() const noexcept { return table_; }
+
+ private:
+  const G* graph_;
+  OpinionTable table_;
+};
+
+}  // namespace plurality

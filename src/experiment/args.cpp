@@ -1,0 +1,49 @@
+#include "experiment/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+#include "support/assert.hpp"
+
+namespace plurality {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    PC_EXPECTS(arg.rfind("--", 0) == 0);
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(body)] = "";
+    } else {
+      values_[std::string(body.substr(0, eq))] =
+          std::string(body.substr(eq + 1));
+    }
+  }
+}
+
+std::uint64_t Args::get_u64(const std::string& key,
+                            std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool Args::has_flag(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+}  // namespace plurality

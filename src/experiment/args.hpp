@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file args.hpp
+/// Minimal --key=value command-line parsing for the experiment binaries.
+/// Every bench accepts overrides (e.g. --n=65536 --reps=20 --seed=42
+/// --csv) so tables can be regenerated at other scales; defaults keep
+/// each binary's full run in the tens of seconds on a laptop.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace plurality {
+
+class Args {
+ public:
+  /// Parses argv entries of the form --key=value or bare --flag.
+  /// Unrecognized positional arguments are rejected with a thrown
+  /// ContractViolation (catching typos in reproduce commands).
+  Args(int argc, const char* const* argv);
+
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  bool has_flag(const std::string& key) const;
+
+  /// True when --csv was passed (tables print comma-separated).
+  bool csv() const { return has_flag("csv"); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace plurality

@@ -1,0 +1,66 @@
+#include "experiment/runner.hpp"
+
+#include <atomic>
+
+namespace plurality {
+
+std::vector<std::vector<double>> run_repetitions_multi(
+    std::uint64_t reps, std::size_t slots, const SeedSequence& seeds,
+    const std::function<std::vector<double>(std::uint64_t, Xoshiro256&)>&
+        body,
+    unsigned threads) {
+  PC_EXPECTS(reps >= 1);
+  PC_EXPECTS(slots >= 1);
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads, reps));
+
+  // results[rep][slot]; each repetition writes its own row, so no locks.
+  std::vector<std::vector<double>> per_rep(reps);
+  std::atomic<std::uint64_t> next{0};
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::uint64_t rep = next.fetch_add(1);
+      if (rep >= reps) return;
+      Xoshiro256 rng = seeds.make_rng(rep);
+      per_rep[rep] = body(rep, rng);
+      PC_ASSERT(per_rep[rep].size() == slots);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  std::vector<std::vector<double>> by_slot(
+      slots, std::vector<double>(reps, 0.0));
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t s = 0; s < slots; ++s) {
+      by_slot[s][rep] = per_rep[rep][s];
+    }
+  }
+  return by_slot;
+}
+
+std::vector<double> run_repetitions(
+    std::uint64_t reps, const SeedSequence& seeds,
+    const std::function<double(std::uint64_t, Xoshiro256&)>& body,
+    unsigned threads) {
+  auto multi = run_repetitions_multi(
+      reps, 1, seeds,
+      [&body](std::uint64_t rep, Xoshiro256& rng) {
+        return std::vector<double>{body(rep, rng)};
+      },
+      threads);
+  return std::move(multi[0]);
+}
+
+}  // namespace plurality

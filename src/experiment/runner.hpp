@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file runner.hpp
+/// Seeded repetition runner. Each repetition gets its own RNG stream
+/// derived from (master seed, repetition index), so results are
+/// identical regardless of the number of worker threads — determinism
+/// is a property of the seed, parallelism only changes wall-clock time.
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "rng/seed.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+/// Runs `reps` repetitions of `body(rep_index, rng)` and collects the
+/// returned doubles in repetition order. `threads` = 0 picks the
+/// hardware concurrency. The body must be thread-safe with respect to
+/// its captures (each call receives an independent RNG).
+std::vector<double> run_repetitions(
+    std::uint64_t reps, const SeedSequence& seeds,
+    const std::function<double(std::uint64_t, Xoshiro256&)>& body,
+    unsigned threads = 0);
+
+/// As run_repetitions, but the body returns several named quantities;
+/// returns one vector per slot, each in repetition order.
+std::vector<std::vector<double>> run_repetitions_multi(
+    std::uint64_t reps, std::size_t slots, const SeedSequence& seeds,
+    const std::function<std::vector<double>(std::uint64_t, Xoshiro256&)>&
+        body,
+    unsigned threads = 0);
+
+}  // namespace plurality

@@ -1,0 +1,88 @@
+#include "experiment/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace plurality {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  PC_EXPECTS(!columns_.empty());
+}
+
+Table& Table::row() {
+  PC_EXPECTS(rows_.empty() || rows_.back().size() == columns_.size());
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  PC_EXPECTS(!rows_.empty());
+  PC_EXPECTS(rows_.back().size() < columns_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(std::uint64_t value) {
+  return cell(std::to_string(value));
+}
+
+Table& Table::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return cell(std::string(buf));
+}
+
+void Table::print(std::ostream& os, bool csv) const {
+  PC_EXPECTS(rows_.empty() || rows_.back().size() == columns_.size());
+  if (csv) {
+    os << "# " << title_ << '\n';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << columns_[c] << (c + 1 < columns_.size() ? "," : "\n");
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << row[c] << (c + 1 < row.size() ? "," : "\n");
+      }
+    }
+    return;
+  }
+
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "  ";
+      os.width(static_cast<std::streamsize>(width[c]));
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += "  " + std::string(width[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace plurality

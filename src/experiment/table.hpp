@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned-column table printing for the experiment binaries, with an
+/// optional CSV mode so results can be piped into plotting tools. Cells
+/// are formatted eagerly into strings; the experiments' row counts are
+/// tiny, so clarity beats cleverness here.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace plurality {
+
+class Table {
+ public:
+  /// `title` is echoed above the table (and as a comment line in CSV).
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  /// Doubles print with `precision` significant decimals.
+  Table& cell(double value, int precision = 3);
+
+  /// Renders to the stream. Requires every row to be exactly as wide as
+  /// the header.
+  void print(std::ostream& os, bool csv = false) const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plurality

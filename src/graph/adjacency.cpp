@@ -1,0 +1,19 @@
+#include "graph/adjacency.hpp"
+
+namespace plurality {
+
+AdjacencyList::AdjacencyList(const std::vector<std::vector<NodeId>>& lists) {
+  offsets_.reserve(lists.size() + 1);
+  offsets_.push_back(0);
+  std::uint64_t total = 0;
+  for (const auto& row : lists) {
+    total += row.size();
+    offsets_.push_back(total);
+  }
+  edges_.reserve(total);
+  for (const auto& row : lists) {
+    edges_.insert(edges_.end(), row.begin(), row.end());
+  }
+}
+
+}  // namespace plurality

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file adjacency.hpp
+/// Compressed sparse adjacency storage shared by the random-graph
+/// topologies (Erdős–Rényi, random regular). Rows are contiguous, so
+/// neighbor sampling is one uniform draw plus one indexed load.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/distributions.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+class AdjacencyList {
+ public:
+  AdjacencyList() = default;
+
+  /// Builds CSR storage from per-node neighbor lists.
+  explicit AdjacencyList(const std::vector<std::vector<NodeId>>& lists);
+
+  std::uint64_t num_nodes() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  std::uint64_t degree(NodeId u) const {
+    PC_EXPECTS(u + 1 < offsets_.size());
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  std::span<const NodeId> neighbors(NodeId u) const {
+    PC_EXPECTS(u + 1 < offsets_.size());
+    return {edges_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// Uniform random neighbor. Requires degree(u) > 0.
+  NodeId sample_neighbor(NodeId u, Xoshiro256& rng) const {
+    const auto row = neighbors(u);
+    PC_EXPECTS(!row.empty());
+    return row[uniform_below(rng, row.size())];
+  }
+
+  std::uint64_t num_edges() const noexcept { return edges_.size() / 2; }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<NodeId> edges_;
+};
+
+}  // namespace plurality

@@ -1,0 +1,50 @@
+#include "graph/erdos_renyi.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+ErdosRenyiGraph::ErdosRenyiGraph(std::uint64_t n, double p, Xoshiro256& rng) {
+  PC_EXPECTS(n >= 2);
+  PC_EXPECTS(p > 0.0 && p <= 1.0);
+
+  std::vector<std::vector<NodeId>> lists(n);
+  if (p >= 1.0) {
+    for (std::uint64_t u = 0; u < n; ++u) {
+      lists[u].reserve(n - 1);
+      for (std::uint64_t v = 0; v < n; ++v) {
+        if (v != u) lists[u].push_back(static_cast<NodeId>(v));
+      }
+    }
+  } else {
+    // Geometric skipping over the n*(n-1)/2 candidate pairs: the gap to
+    // the next present edge is Geometric(p).
+    const double log_q = std::log1p(-p);
+    std::int64_t v = 1;
+    std::int64_t w = -1;
+    const auto ni = static_cast<std::int64_t>(n);
+    while (v < ni) {
+      const double r = uniform_open(rng);
+      w += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log_q));
+      while (w >= v && v < ni) {
+        w -= v;
+        ++v;
+      }
+      if (v < ni) {
+        lists[static_cast<std::size_t>(v)].push_back(static_cast<NodeId>(w));
+        lists[static_cast<std::size_t>(w)].push_back(static_cast<NodeId>(v));
+      }
+    }
+  }
+
+  for (const auto& row : lists) {
+    if (row.empty()) ++isolated_;
+  }
+  adjacency_ = AdjacencyList(lists);
+}
+
+}  // namespace plurality

@@ -1,0 +1,56 @@
+#include "graph/random_regular.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+RandomRegularGraph::RandomRegularGraph(std::uint64_t n, std::uint32_t d,
+                                       Xoshiro256& rng) {
+  PC_EXPECTS(n >= 2);
+  PC_EXPECTS(d >= 1);
+  PC_EXPECTS(d < n);
+  PC_EXPECTS((n * d) % 2 == 0);
+
+  // One entry per stub; a uniform random perfect matching of the stubs is
+  // a Fisher-Yates shuffle paired off in order.
+  std::vector<NodeId> stubs;
+  stubs.reserve(n * d);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (std::uint32_t j = 0; j < d; ++j)
+      stubs.push_back(static_cast<NodeId>(u));
+  }
+
+  constexpr int kMaxAttempts = 50;
+  std::vector<std::vector<NodeId>> lists;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    for (std::size_t i = stubs.size() - 1; i > 0; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform_below(rng, i + 1));
+      std::swap(stubs[i], stubs[j]);
+    }
+    lists.assign(n, {});
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(stubs.size());
+    std::uint64_t bad = 0;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const NodeId a = stubs[i];
+      const NodeId b = stubs[i + 1];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+      if (a == b || !seen.insert(key).second) ++bad;
+      lists[a].push_back(b);
+      lists[b].push_back(a);
+    }
+    if (bad == 0 || attempt == kMaxAttempts - 1) {
+      defects_ = bad;
+      break;
+    }
+  }
+  adjacency_ = AdjacencyList(lists);
+}
+
+}  // namespace plurality

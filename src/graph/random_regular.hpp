@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file random_regular.hpp
+/// Random d-regular multigraph via the configuration model (stub
+/// matching). Self-loops and duplicate edges are resampled a bounded
+/// number of times; any survivors are kept as parallel stubs, which
+/// keeps sampling well-defined (a neighbor is drawn per-stub) at the
+/// cost of a vanishing deviation from simplicity — standard practice
+/// for simulation workloads.
+
+#include <cstdint>
+
+#include "graph/adjacency.hpp"
+#include "graph/graph.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace plurality {
+
+class RandomRegularGraph {
+ public:
+  /// Samples a d-regular multigraph on n nodes. Requires n >= 2,
+  /// d >= 1, d < n, and n*d even (handshake parity).
+  RandomRegularGraph(std::uint64_t n, std::uint32_t d, Xoshiro256& rng);
+
+  std::uint64_t num_nodes() const noexcept { return adjacency_.num_nodes(); }
+  std::uint64_t degree(NodeId u) const { return adjacency_.degree(u); }
+
+  /// Stubs that remained self-loops/duplicates after retries (0 almost
+  /// always for d << n).
+  std::uint64_t defects() const noexcept { return defects_; }
+
+  NodeId sample_neighbor(NodeId u, Xoshiro256& rng) const {
+    return adjacency_.sample_neighbor(u, rng);
+  }
+
+ private:
+  AdjacencyList adjacency_;
+  std::uint64_t defects_ = 0;
+};
+
+}  // namespace plurality

@@ -1,0 +1,179 @@
+#include "opinion/assignment.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rng/distributions.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+namespace {
+
+/// Builds the node->color vector from counts and shuffles it.
+Assignment materialize(std::vector<std::uint64_t> counts, Xoshiro256& rng) {
+  const std::uint64_t n =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  PC_EXPECTS(n > 0);
+
+  Assignment out;
+  out.num_colors = static_cast<ColorId>(counts.size());
+  out.colors.reserve(n);
+  for (ColorId c = 0; c < counts.size(); ++c) {
+    out.colors.insert(out.colors.end(), counts[c], c);
+  }
+  // Fisher-Yates so that which node holds which color is uniform.
+  for (std::size_t i = out.colors.size() - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(uniform_below(rng, i + 1));
+    std::swap(out.colors[i], out.colors[j]);
+  }
+  out.counts = std::move(counts);
+  return out;
+}
+
+}  // namespace
+
+std::int64_t Assignment::bias() const {
+  PC_EXPECTS(num_colors >= 2);
+  std::uint64_t first = 0;
+  std::uint64_t second = 0;
+  for (const std::uint64_t c : counts) {
+    if (c >= first) {
+      second = first;
+      first = c;
+    } else if (c > second) {
+      second = c;
+    }
+  }
+  return static_cast<std::int64_t>(first) - static_cast<std::int64_t>(second);
+}
+
+Assignment assign_exact(const std::vector<std::uint64_t>& counts,
+                        Xoshiro256& rng) {
+  PC_EXPECTS(!counts.empty());
+  return materialize(counts, rng);
+}
+
+Assignment assign_equal(std::uint64_t n, ColorId k, Xoshiro256& rng) {
+  PC_EXPECTS(k >= 1);
+  PC_EXPECTS(n >= k);
+  std::vector<std::uint64_t> counts(k, n / k);
+  const std::uint64_t remainder = n % k;
+  for (std::uint64_t i = 0; i < remainder; ++i) {
+    ++counts[k - 1 - i];  // favor high indices, never color 0
+  }
+  return materialize(std::move(counts), rng);
+}
+
+Assignment assign_plurality_bias(std::uint64_t n, ColorId k,
+                                 std::uint64_t bias, Xoshiro256& rng) {
+  PC_EXPECTS(k >= 2);
+  PC_EXPECTS(n >= k + bias);
+  // c2 = ... = ck = floor((n - bias) / k); c1 absorbs bias + rounding, so
+  // the realized bias is in [bias, bias + k - 1].
+  const std::uint64_t minority = (n - bias) / k;
+  PC_EXPECTS(minority >= 1);
+  std::vector<std::uint64_t> counts(k, minority);
+  counts[0] = n - minority * (k - 1);
+  PC_ASSERT(counts[0] >= minority + bias);
+  return materialize(std::move(counts), rng);
+}
+
+Assignment assign_two_colors(std::uint64_t n, std::uint64_t c1,
+                             Xoshiro256& rng) {
+  PC_EXPECTS(n >= 2);
+  PC_EXPECTS(c1 >= 1 && c1 <= n - 1);
+  return materialize({c1, n - c1}, rng);
+}
+
+Assignment assign_geometric(std::uint64_t n, ColorId k, double ratio,
+                            Xoshiro256& rng) {
+  PC_EXPECTS(k >= 1);
+  PC_EXPECTS(n >= k);
+  PC_EXPECTS(ratio > 0.0 && ratio < 1.0);
+  std::vector<double> weights(k);
+  double w = 1.0;
+  for (ColorId c = 0; c < k; ++c) {
+    weights[c] = w;
+    w *= ratio;
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  // Largest-remainder rounding to exact sum n with every color >= 1.
+  std::vector<std::uint64_t> counts(k, 1);
+  std::uint64_t assigned = k;
+  std::vector<std::pair<double, ColorId>> remainders;
+  remainders.reserve(k);
+  for (ColorId c = 0; c < k; ++c) {
+    const double ideal = weights[c] / total * static_cast<double>(n);
+    const auto extra = ideal >= 1.0 ? static_cast<std::uint64_t>(ideal) - 1 : 0;
+    counts[c] += extra;
+    assigned += extra;
+    remainders.emplace_back(ideal - std::floor(ideal), c);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t i = 0;
+  while (assigned < n) {
+    ++counts[remainders[i % remainders.size()].second];
+    ++assigned;
+    ++i;
+  }
+  while (assigned > n) {  // defensive: trim from the smallest colors
+    for (ColorId c = k; c-- > 0 && assigned > n;) {
+      if (counts[c] > 1) {
+        --counts[c];
+        --assigned;
+      }
+    }
+  }
+  return materialize(std::move(counts), rng);
+}
+
+Assignment assign_dirichlet(std::uint64_t n, ColorId k, double alpha,
+                            Xoshiro256& rng) {
+  PC_EXPECTS(k >= 1);
+  PC_EXPECTS(n >= k);
+  PC_EXPECTS(alpha > 0.0);
+  std::vector<double> proportions(k);
+  double total = 0.0;
+  for (auto& p : proportions) {
+    p = gamma(rng, alpha);
+    total += p;
+  }
+  // Largest-remainder rounding with every color >= 1.
+  std::vector<std::uint64_t> counts(k, 1);
+  std::uint64_t assigned = k;
+  std::vector<std::pair<double, ColorId>> remainders;
+  remainders.reserve(k);
+  for (ColorId c = 0; c < k; ++c) {
+    const double ideal = proportions[c] / total * static_cast<double>(n);
+    const auto extra = ideal >= 1.0 ? static_cast<std::uint64_t>(ideal) - 1 : 0;
+    counts[c] += extra;
+    assigned += extra;
+    remainders.emplace_back(ideal - std::floor(ideal), c);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t i = 0;
+  while (assigned < n) {
+    ++counts[remainders[i % remainders.size()].second];
+    ++assigned;
+    ++i;
+  }
+  while (assigned > n) {
+    for (ColorId c = k; c-- > 0 && assigned > n;) {
+      if (counts[c] > 1) {
+        --counts[c];
+        --assigned;
+      }
+    }
+  }
+  // Relabel so the plurality color is color 0.
+  const auto best = static_cast<ColorId>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+  std::swap(counts[0], counts[best]);
+  return materialize(std::move(counts), rng);
+}
+
+}  // namespace plurality

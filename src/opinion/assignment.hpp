@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file assignment.hpp
+/// Initial-opinion workload generators. Each generator returns an
+/// Assignment whose counts are *exact* (deterministic in the requested
+/// parameters); randomness only permutes which node gets which color.
+/// Color 0 always denotes the plurality color C1 of the paper when the
+/// generator creates a biased configuration.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace plurality {
+
+/// An initial configuration: per-node colors plus the color-universe
+/// size and the realized support counts.
+struct Assignment {
+  std::vector<ColorId> colors;        ///< colors[u] for each node u
+  ColorId num_colors = 0;             ///< size of the color universe
+  std::vector<std::uint64_t> counts;  ///< realized support per color
+
+  /// Realized additive bias c1 - c2 (largest minus second-largest
+  /// support). Requires num_colors >= 2.
+  std::int64_t bias() const;
+};
+
+/// Exact counts, randomly shuffled over nodes. Requires counts non-empty
+/// and a positive total.
+Assignment assign_exact(const std::vector<std::uint64_t>& counts,
+                        Xoshiro256& rng);
+
+/// As-equal-as-possible split of n nodes over k colors (remainder goes
+/// to the *highest* color indices so that color 0 is never favored by
+/// rounding). Requires k >= 1, n >= k.
+Assignment assign_equal(std::uint64_t n, ColorId k, Xoshiro256& rng);
+
+/// The theorem workload: c2 = ... = ck as equal as possible and
+/// c1 = c2 + bias (up to +k-1 rounding, reported exactly in counts).
+/// This is simultaneously the upper-bound workload of Theorem 1.1 and —
+/// because all minorities tie — its lower-bound workload.
+/// Requires k >= 2, n >= k + bias.
+Assignment assign_plurality_bias(std::uint64_t n, ColorId k,
+                                 std::uint64_t bias, Xoshiro256& rng);
+
+/// Two colors with c1 = n/2 + bias_half and c2 = n - c1 (bias = 2*bias_half
+/// up to parity). Requires n >= 2 and 2*bias_half <= n - 2... concretely
+/// c1 <= n - 1 so that both colors are present.
+Assignment assign_two_colors(std::uint64_t n, std::uint64_t c1,
+                             Xoshiro256& rng);
+
+/// Geometric support profile c_j proportional to ratio^j (ratio in
+/// (0,1)), exactly normalized to sum n; a "many small minorities"
+/// workload. Requires k >= 1, ratio in (0,1), n >= k.
+Assignment assign_geometric(std::uint64_t n, ColorId k, double ratio,
+                            Xoshiro256& rng);
+
+/// Random proportions from a symmetric Dirichlet(alpha) prior, then the
+/// largest realized color is relabeled to 0 so C1 keeps its meaning.
+/// Requires k >= 1, alpha > 0, n >= k.
+Assignment assign_dirichlet(std::uint64_t n, ColorId k, double alpha,
+                            Xoshiro256& rng);
+
+}  // namespace plurality

@@ -1,0 +1,54 @@
+#include "opinion/snapshot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace plurality {
+
+std::int64_t OpinionSnapshot::bias() const {
+  if (sorted_supports.size() < 2) {
+    return sorted_supports.empty()
+               ? 0
+               : static_cast<std::int64_t>(sorted_supports[0]);
+  }
+  return static_cast<std::int64_t>(sorted_supports[0]) -
+         static_cast<std::int64_t>(sorted_supports[1]);
+}
+
+double OpinionSnapshot::plurality_fraction() const {
+  if (n == 0 || sorted_supports.empty()) return 0.0;
+  return static_cast<double>(sorted_supports[0]) / static_cast<double>(n);
+}
+
+double OpinionSnapshot::top_ratio() const {
+  if (sorted_supports.size() < 2 || sorted_supports[1] == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(sorted_supports[0]) /
+         static_cast<double>(sorted_supports[1]);
+}
+
+double OpinionSnapshot::normalized_entropy() const {
+  if (surviving <= 1 || n == 0) return 0.0;
+  double h = 0.0;
+  for (const std::uint64_t s : sorted_supports) {
+    if (s == 0) continue;
+    const double p = static_cast<double>(s) / static_cast<double>(n);
+    h -= p * std::log(p);
+  }
+  return h / std::log(static_cast<double>(surviving));
+}
+
+OpinionSnapshot snapshot_of(const OpinionTable& table) {
+  OpinionSnapshot snap;
+  snap.n = table.num_nodes();
+  snap.surviving = table.surviving_colors();
+  const auto supports = table.supports();
+  snap.sorted_supports.assign(supports.begin(), supports.end());
+  std::sort(snap.sorted_supports.begin(), snap.sorted_supports.end(),
+            std::greater<>());
+  return snap;
+}
+
+}  // namespace plurality

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Read-only views of an opinion configuration used by observers and
+/// experiment reports: sorted supports, bias, plurality fraction,
+/// normalized Shannon entropy.
+
+#include <cstdint>
+#include <vector>
+
+#include "opinion/table.hpp"
+
+namespace plurality {
+
+struct OpinionSnapshot {
+  std::uint64_t n = 0;
+  std::vector<std::uint64_t> sorted_supports;  ///< descending
+  ColorId surviving = 0;
+
+  /// c1 - c2 (0 if fewer than two colors survive).
+  std::int64_t bias() const;
+  /// c1 / n.
+  double plurality_fraction() const;
+  /// c1 / c2 (infinity if c2 == 0).
+  double top_ratio() const;
+  /// Shannon entropy of the support distribution, normalized by log k of
+  /// the number of *surviving* colors (0 when one color remains).
+  double normalized_entropy() const;
+};
+
+/// Captures the aggregate state of a table.
+OpinionSnapshot snapshot_of(const OpinionTable& table);
+
+}  // namespace plurality

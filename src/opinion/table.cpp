@@ -1,0 +1,38 @@
+#include "opinion/table.hpp"
+
+namespace plurality {
+
+OpinionTable::OpinionTable(std::vector<ColorId> colors, ColorId num_colors)
+    : colors_(std::move(colors)), num_colors_(num_colors) {
+  PC_EXPECTS(num_colors_ >= 1);
+  PC_EXPECTS(!colors_.empty());
+  support_.assign(num_colors_, 0);
+  for (const ColorId c : colors_) {
+    PC_EXPECTS(c < num_colors_);
+    ++support_[c];
+  }
+  for (const std::uint64_t s : support_) {
+    if (s > 0) ++surviving_;
+    if (s > max_support_) max_support_ = s;
+  }
+  PC_ENSURES(surviving_ >= 1);
+}
+
+ColorId OpinionTable::consensus_color() const {
+  PC_EXPECTS(has_consensus());
+  return colors_[0];
+}
+
+ColorId OpinionTable::plurality_color() const {
+  ColorId best = 0;
+  std::uint64_t best_support = support_[0];
+  for (ColorId c = 1; c < num_colors_; ++c) {
+    if (support_[c] > best_support) {
+      best = c;
+      best_support = support_[c];
+    }
+  }
+  return best;
+}
+
+}  // namespace plurality

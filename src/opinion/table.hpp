@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file table.hpp
+/// OpinionTable: the color of every node plus O(1)-maintained aggregate
+/// bookkeeping (per-color support, number of surviving colors, running
+/// maximum support). Engines poll has_consensus() every step, so those
+/// aggregates must never require a scan.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+class OpinionTable {
+ public:
+  /// Takes ownership of the initial assignment. `num_colors` is the size
+  /// of the color universe; every entry of `colors` must be < num_colors.
+  OpinionTable(std::vector<ColorId> colors, ColorId num_colors);
+
+  std::uint64_t num_nodes() const noexcept { return colors_.size(); }
+  ColorId num_colors() const noexcept { return num_colors_; }
+
+  ColorId color(NodeId u) const {
+    PC_EXPECTS(u < colors_.size());
+    return colors_[u];
+  }
+
+  /// Recolors node u, updating supports, survivor count and max support
+  /// in O(1).
+  void set_color(NodeId u, ColorId c) {
+    PC_EXPECTS(u < colors_.size());
+    PC_EXPECTS(c < num_colors_);
+    const ColorId old = colors_[u];
+    if (old == c) return;
+    colors_[u] = c;
+    if (--support_[old] == 0) --surviving_;
+    if (support_[c]++ == 0) ++surviving_;
+    if (support_[c] > max_support_) max_support_ = support_[c];
+    // max_support_ may now overestimate if `old` held the maximum; it is
+    // only used as a monotone lower-bound accelerator for plurality
+    // scans, never for correctness decisions (see plurality_color()).
+  }
+
+  std::uint64_t support(ColorId c) const {
+    PC_EXPECTS(c < num_colors_);
+    return support_[c];
+  }
+
+  /// Number of colors with at least one supporter.
+  ColorId surviving_colors() const noexcept { return surviving_; }
+
+  /// True iff every node holds the same color.
+  bool has_consensus() const noexcept { return surviving_ == 1; }
+
+  /// The consensus color. Requires has_consensus().
+  ColorId consensus_color() const;
+
+  /// A color of maximum support (lowest index wins ties); O(k) scan.
+  ColorId plurality_color() const;
+
+  /// Supports of all colors (index = color).
+  std::span<const std::uint64_t> supports() const noexcept {
+    return support_;
+  }
+
+  /// Colors of all nodes (index = node).
+  std::span<const ColorId> colors() const noexcept { return colors_; }
+
+ private:
+  std::vector<ColorId> colors_;
+  std::vector<std::uint64_t> support_;
+  ColorId num_colors_;
+  ColorId surviving_ = 0;
+  std::uint64_t max_support_ = 0;
+};
+
+}  // namespace plurality

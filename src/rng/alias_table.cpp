@@ -1,0 +1,56 @@
+#include "rng/alias_table.hpp"
+
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace plurality {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  PC_EXPECTS(!weights.empty());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  PC_EXPECTS(total > 0.0);
+  for (const double w : weights) PC_EXPECTS(w >= 0.0);
+
+  const std::size_t n = weights.size();
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Vose's stable partition into under-full and over-full columns.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+
+  probability_.assign(n, 1.0);
+  alias_.resize(n);
+  std::iota(alias_.begin(), alias_.end(), std::size_t{0});
+
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers are full columns.
+  for (const std::size_t i : small) probability_[i] = 1.0;
+  for (const std::size_t i : large) probability_[i] = 1.0;
+}
+
+double AliasTable::probability_of(std::size_t i) const {
+  PC_EXPECTS(i < normalized_.size());
+  return normalized_[i];
+}
+
+}  // namespace plurality

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file alias_table.hpp
+/// Walker/Vose alias method: O(n) preprocessing, O(1) sampling from an
+/// arbitrary discrete distribution. Used by the workload generators
+/// (geometric / Dirichlet opinion assignments) and reusable on its own.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/distributions.hpp"
+
+namespace plurality {
+
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights (not necessarily
+  /// normalized). Requires at least one weight and a positive total.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Index in [0, size()) with probability proportional to its weight.
+  template <BitGenerator64 G>
+  std::size_t sample(G& gen) const {
+    const auto column = static_cast<std::size_t>(
+        uniform_below(gen, static_cast<std::uint64_t>(probability_.size())));
+    return uniform_unit(gen) < probability_[column] ? column : alias_[column];
+  }
+
+  std::size_t size() const noexcept { return probability_.size(); }
+
+  /// Normalized probability of outcome i (for tests / inspection).
+  double probability_of(std::size_t i) const;
+
+ private:
+  std::vector<double> probability_;  // acceptance threshold per column
+  std::vector<std::size_t> alias_;   // fallback outcome per column
+  std::vector<double> normalized_;   // original weights, normalized
+};
+
+}  // namespace plurality

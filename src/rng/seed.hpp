@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file seed.hpp
+/// Deterministic seed derivation. A single 64-bit master seed expands
+/// into arbitrarily many independent streams (one per experiment
+/// repetition, per node pool, ...), so every table in EXPERIMENTS.md is
+/// reproducible bit-for-bit from one number, and running repetitions on
+/// different thread counts cannot change results.
+
+#include <cstdint>
+
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace plurality {
+
+class SeedSequence {
+ public:
+  explicit constexpr SeedSequence(std::uint64_t master) noexcept
+      : master_(master) {}
+
+  /// The 64-bit seed of stream `index`. Streams are decorrelated by
+  /// running the SplitMix64 mixer over (master, index) — distinct indices
+  /// give independent-quality seeds.
+  constexpr std::uint64_t stream(std::uint64_t index) const noexcept {
+    SplitMix64 sm(master_ ^ (0xD1B54A32D192ED03ULL * (index + 1)));
+    sm.next();
+    return sm.next();
+  }
+
+  /// A ready-to-use generator for stream `index`.
+  Xoshiro256 make_rng(std::uint64_t index) const noexcept {
+    return Xoshiro256(stream(index));
+  }
+
+  constexpr std::uint64_t master() const noexcept { return master_; }
+
+  /// A sub-sequence rooted at stream `index`, for hierarchical
+  /// derivation (experiment -> sweep point -> repetition).
+  constexpr SeedSequence child(std::uint64_t index) const noexcept {
+    return SeedSequence(stream(index));
+  }
+
+ private:
+  std::uint64_t master_;
+};
+
+}  // namespace plurality

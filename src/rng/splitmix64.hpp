@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file splitmix64.hpp
+/// SplitMix64: a tiny, statistically solid 64-bit generator (Steele,
+/// Lea & Flood, OOPSLA'14 mixing function). We use it to expand 64-bit
+/// seeds into the larger states of xoshiro256++ and to derive independent
+/// per-repetition streams — its full-period, equidistributed output makes
+/// it a safe seeding source.
+
+#include <cstdint>
+
+namespace plurality {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit output; advances the state.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace plurality

@@ -1,0 +1,38 @@
+#include "rng/xoshiro256.hpp"
+
+namespace plurality {
+
+void Xoshiro256::apply_jump(const std::uint64_t (&table)[4]) noexcept {
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : table) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      next();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[4] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  apply_jump(kJump);
+}
+
+void Xoshiro256::long_jump() noexcept {
+  static constexpr std::uint64_t kLongJump[4] = {
+      0x76E15D3EFEFDCBBFULL, 0xC5004E441C522FB3ULL, 0x77710069854EE241ULL,
+      0x39109BB02ACBE635ULL};
+  apply_jump(kLongJump);
+}
+
+}  // namespace plurality

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file xoshiro256.hpp
+/// xoshiro256++ (Blackman & Vigna, 2019): the library's workhorse
+/// generator. 256-bit state, period 2^256 - 1, passes BigCrush, and is
+/// faster than std::mt19937_64. jump()/long_jump() provide 2^128 / 2^192
+/// step skips for constructing provably non-overlapping parallel streams.
+
+#include <cstdint>
+
+#include "rng/splitmix64.hpp"
+
+namespace plurality {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by expanding a 64-bit seed with SplitMix64
+  /// (the seeding procedure recommended by the xoshiro authors).
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Advances the state by 2^128 steps; equivalent to 2^128 next() calls.
+  void jump() noexcept;
+
+  /// Advances the state by 2^192 steps.
+  void long_jump() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  void apply_jump(const std::uint64_t (&table)[4]) noexcept;
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace plurality

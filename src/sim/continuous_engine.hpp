@@ -1,0 +1,176 @@
+#pragma once
+
+/// \file continuous_engine.hpp
+/// The paper's continuous asynchronous model: every node carries an
+/// independent Poisson(1) clock; ticks are scheduled as discrete events
+/// with Exp(1) inter-arrival times. The engine also supports protocols
+/// that exchange *delayed messages* (the response-delay extension of
+/// §4): a messaging protocol stages (recipient, delay, message) triples
+/// in an Outbox, and the engine delivers them as events.
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "sim/concepts.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/observers.hpp"
+#include "sim/result.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+/// Staging area for outgoing delayed messages; the engine drains it into
+/// the event queue after every protocol callback.
+template <typename Message>
+class Outbox {
+ public:
+  /// Schedules `message` for delivery to `to` after `delay` time units.
+  /// Requires delay >= 0.
+  void post(NodeId to, double delay, Message message) {
+    PC_EXPECTS(delay >= 0.0);
+    staged_.emplace_back(to, delay, std::move(message));
+  }
+
+  bool empty() const noexcept { return staged_.empty(); }
+
+ private:
+  template <typename, typename>
+  friend class ContinuousMessagingDriver;  // engine drains staged_
+
+  std::vector<std::tuple<NodeId, double, Message>> staged_;
+};
+
+/// A protocol that, in addition to ticking, receives delayed messages.
+template <typename P>
+concept MessagingProtocol =
+    requires(P p, const P cp, NodeId u, typename P::Message m,
+             Xoshiro256& rng, double now, Outbox<typename P::Message>& out) {
+      typename P::Message;
+      { p.on_tick(u, rng, now, out) };
+      { p.on_message(u, m, rng, now, out) };
+      { cp.num_nodes() } -> std::convertible_to<std::uint64_t>;
+      { cp.done() } -> std::convertible_to<bool>;
+      { cp.table() } -> std::convertible_to<const OpinionTable&>;
+    };
+
+/// Runs a plain (non-messaging) protocol under Poisson(1) clocks until
+/// done() or `max_time`. Observer cadence as in run_sequential.
+template <AsyncProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_continuous(P& proto, Xoshiro256& rng, double max_time,
+                              Obs&& obs = Obs{}, double sample_every = 1.0) {
+  PC_EXPECTS(max_time > 0.0);
+  PC_EXPECTS(sample_every > 0.0);
+  const std::uint64_t n = proto.num_nodes();
+  PC_EXPECTS(n >= 1);
+
+  EventQueue<NodeId> ticks;
+  for (std::uint64_t u = 0; u < n; ++u) {
+    ticks.push(exponential(rng, 1.0), static_cast<NodeId>(u));
+  }
+
+  AsyncRunResult result;
+  double now = 0.0;
+  double next_sample = 0.0;
+  while (!ticks.empty() && !proto.done()) {
+    if (ticks.next_time() > max_time) break;
+    const auto event = ticks.pop();
+    now = event.time;
+    while (next_sample <= now) {
+      obs(next_sample, proto);
+      next_sample += sample_every;
+    }
+    proto.on_tick(event.payload, rng);
+    ++result.ticks;
+    ticks.push(now + exponential(rng, 1.0), event.payload);
+  }
+  result.time = now;
+  obs(now, proto);
+  result.consensus = proto.table().has_consensus();
+  if (result.consensus) result.winner = proto.table().consensus_color();
+  return result;
+}
+
+/// Driver state for messaging protocols (kept as a class so Outbox can
+/// befriend it). Constrained at the run_continuous_messaging entry point.
+template <typename P, typename Obs>
+class ContinuousMessagingDriver {
+ public:
+  ContinuousMessagingDriver(P& proto, Xoshiro256& rng, Obs obs)
+      : proto_(proto), rng_(rng), obs_(std::move(obs)) {}
+
+  AsyncRunResult run(double max_time, double sample_every = 1.0) {
+    PC_EXPECTS(max_time > 0.0);
+    PC_EXPECTS(sample_every > 0.0);
+    const std::uint64_t n = proto_.num_nodes();
+    PC_EXPECTS(n >= 1);
+
+    using Message = typename P::Message;
+    struct TickEvent {
+      NodeId node;
+    };
+    struct DeliveryEvent {
+      NodeId to;
+      Message message;
+    };
+    using Payload = std::variant<TickEvent, DeliveryEvent>;
+
+    EventQueue<Payload> queue;
+    for (std::uint64_t u = 0; u < n; ++u) {
+      queue.push(exponential(rng_, 1.0),
+                 Payload{TickEvent{static_cast<NodeId>(u)}});
+    }
+
+    Outbox<Message> outbox;
+    AsyncRunResult result;
+    double now = 0.0;
+    double next_sample = 0.0;
+    while (!queue.empty() && !proto_.done()) {
+      if (queue.next_time() > max_time) break;
+      auto event = queue.pop();
+      now = event.time;
+      while (next_sample <= now) {
+        obs_(next_sample, proto_);
+        next_sample += sample_every;
+      }
+      if (std::holds_alternative<TickEvent>(event.payload)) {
+        const NodeId u = std::get<TickEvent>(event.payload).node;
+        proto_.on_tick(u, rng_, now, outbox);
+        ++result.ticks;
+        queue.push(now + exponential(rng_, 1.0), Payload{TickEvent{u}});
+      } else {
+        auto& delivery = std::get<DeliveryEvent>(event.payload);
+        proto_.on_message(delivery.to, delivery.message, rng_, now, outbox);
+      }
+      for (auto& [to, delay, message] : outbox.staged_) {
+        queue.push(now + delay, Payload{DeliveryEvent{to, std::move(message)}});
+      }
+      outbox.staged_.clear();
+    }
+    result.time = now;
+    obs_(now, proto_);
+    result.consensus = proto_.table().has_consensus();
+    if (result.consensus) result.winner = proto_.table().consensus_color();
+    return result;
+  }
+
+ private:
+  P& proto_;
+  Xoshiro256& rng_;
+  Obs obs_;
+};
+
+/// Convenience wrapper for messaging protocols.
+template <MessagingProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_continuous_messaging(P& proto, Xoshiro256& rng,
+                                        double max_time, Obs&& obs = Obs{},
+                                        double sample_every = 1.0) {
+  ContinuousMessagingDriver<P, std::decay_t<Obs>> driver(
+      proto, rng, std::forward<Obs>(obs));
+  return driver.run(max_time, sample_every);
+}
+
+}  // namespace plurality

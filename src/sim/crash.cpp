@@ -1,0 +1,26 @@
+#include "sim/crash.hpp"
+
+#include "rng/distributions.hpp"
+
+namespace plurality {
+
+std::vector<std::uint64_t> crash_fraction_plan(std::uint64_t n,
+                                               double fraction,
+                                               std::uint64_t after_ticks,
+                                               Xoshiro256& rng) {
+  PC_EXPECTS(n >= 1);
+  PC_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<std::uint64_t> plan(n, kNeverCrashes);
+  const auto num_crash =
+      static_cast<std::uint64_t>(fraction * static_cast<double>(n));
+  std::vector<std::uint64_t> order(n);
+  for (std::uint64_t i = 0; i < n; ++i) order[i] = i;
+  for (std::uint64_t i = 0; i < num_crash; ++i) {
+    const std::uint64_t j = i + uniform_below(rng, n - i);
+    std::swap(order[i], order[j]);
+    plan[order[i]] = after_ticks;
+  }
+  return plan;
+}
+
+}  // namespace plurality

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// A stable discrete-event queue: events pop in (time, insertion order).
+/// The sequence number tie-break makes continuous-engine runs fully
+/// deterministic for a fixed seed even when events collide in time.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace plurality {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void push(double time, Payload payload) {
+    PC_EXPECTS(time >= 0.0);
+    heap_.push(Event{time, next_seq_++, std::move(payload)});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// The earliest event time. Requires non-empty.
+  double next_time() const {
+    PC_EXPECTS(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  /// Removes and returns the earliest event. Requires non-empty.
+  Event pop() {
+    PC_EXPECTS(!heap_.empty());
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace plurality

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file result.hpp
+/// Outcomes reported by the engine drivers.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace plurality {
+
+/// Outcome of a synchronous run.
+struct SyncRunResult {
+  std::uint64_t rounds = 0;  ///< rounds executed before stopping
+  bool consensus = false;    ///< true iff all nodes agree
+  ColorId winner = 0;        ///< the agreed color; valid iff consensus
+};
+
+/// Outcome of an asynchronous run (sequential or continuous).
+struct AsyncRunResult {
+  double time = 0.0;         ///< parallel time at stop (steps/n, or clock)
+  std::uint64_t ticks = 0;   ///< total node activations executed
+  bool consensus = false;    ///< true iff all nodes agree
+  ColorId winner = 0;        ///< the agreed color; valid iff consensus
+};
+
+}  // namespace plurality

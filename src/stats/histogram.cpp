@@ -1,0 +1,68 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace plurality {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi) {
+  PC_EXPECTS(lo < hi);
+  PC_EXPECTS(bins >= 1);
+  bin_width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard fp edge at hi_
+  ++counts_[bin];
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  PC_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  PC_EXPECTS(bin < counts_.size());
+  const double lo = lo_ + bin_width_ * static_cast<double>(bin);
+  return {lo, lo + bin_width_};
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto [lo, hi] = bin_range(i);
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof line, "[%10.2f, %10.2f) %10llu ", lo, hi,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0 || overflow_ > 0) {
+    std::snprintf(line, sizeof line, "underflow=%llu overflow=%llu\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace plurality

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-width binning over a closed range with underflow/overflow
+/// buckets. Used to report working-time dispersion (experiment E7/E11)
+/// and tick-count spreads.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace plurality {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal cells. Requires lo < hi, bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t num_bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Inclusive-exclusive bounds of a bin.
+  std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (for example programs).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace plurality

@@ -1,0 +1,42 @@
+#include "stats/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/welford.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+double quantile(std::span<const double> data, double q) {
+  PC_EXPECTS(!data.empty());
+  PC_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> data) {
+  PC_EXPECTS(!data.empty());
+  Welford w;
+  for (const double x : data) w.add(x);
+  Summary s;
+  s.count = w.count();
+  s.mean = w.mean();
+  s.min = w.min();
+  s.max = w.max();
+  s.median = quantile(data, 0.5);
+  s.p90 = quantile(data, 0.9);
+  if (w.count() >= 2) {
+    s.stddev = w.stddev();
+    s.ci95_halfwidth = 1.959963984540054 * w.std_error();
+  }
+  return s;
+}
+
+}  // namespace plurality

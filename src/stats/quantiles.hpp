@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file quantiles.hpp
+/// Exact small-sample quantiles (linear interpolation, type-7 / the
+/// numpy default) plus a Summary convenience bundle for experiment rows.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace plurality {
+
+/// q-quantile of the data (q in [0,1]) with linear interpolation between
+/// order statistics. Copies and sorts; intended for per-row sample sizes
+/// (tens to thousands). Requires non-empty data.
+double quantile(std::span<const double> data, double q);
+
+/// Convenience bundle of the distribution of one measured quantity.
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< 0 when count < 2
+  double min = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+
+  /// Half-width of the normal-approximation 95% confidence interval of
+  /// the mean (0 when count < 2).
+  double ci95_halfwidth = 0.0;
+};
+
+/// Summarizes a sample. Requires non-empty data.
+Summary summarize(std::span<const double> data);
+
+}  // namespace plurality

@@ -1,0 +1,63 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace plurality {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  PC_EXPECTS(x.size() == y.size());
+  PC_EXPECTS(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  PC_EXPECTS(sxx > 0.0);
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit fit_log_x(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    PC_EXPECTS(x[i] > 0.0);
+    lx[i] = std::log(x[i]);
+  }
+  return fit_linear(lx, y);
+}
+
+LinearFit fit_power_law(std::span<const double> x,
+                        std::span<const double> y) {
+  PC_EXPECTS(x.size() == y.size());
+  std::vector<double> lx(x.size());
+  std::vector<double> ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    PC_EXPECTS(x[i] > 0.0);
+    PC_EXPECTS(y[i] > 0.0);
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+}  // namespace plurality

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file regression.hpp
+/// Ordinary least squares on (x, y) pairs, plus the two transformed fits
+/// the experiments use to check growth laws: y = a + b*ln(x)
+/// (logarithmic growth, Theorems 1.2/1.3) and ln(y) = a + b*ln(x)
+/// (power laws, e.g. the Omega(k) lower bound has exponent ~1).
+
+#include <span>
+
+namespace plurality {
+
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;  ///< 1 when the data is constant (perfect fit)
+};
+
+/// OLS fit of y = intercept + slope * x. Requires >= 2 points and
+/// non-constant x.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Fit y = a + b * ln(x). Requires all x > 0.
+LinearFit fit_log_x(std::span<const double> x, std::span<const double> y);
+
+/// Fit ln(y) = a + b * ln(x); slope is the empirical power-law exponent.
+/// Requires all x > 0 and y > 0.
+LinearFit fit_power_law(std::span<const double> x, std::span<const double> y);
+
+}  // namespace plurality

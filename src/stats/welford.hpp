@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file welford.hpp
+/// Numerically stable streaming moments (Welford 1962). Every experiment
+/// aggregates repetition outcomes through this accumulator.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace plurality {
+
+class Welford {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+
+  /// Requires at least one observation.
+  double mean() const {
+    PC_EXPECTS(count_ >= 1);
+    return mean_;
+  }
+
+  /// Unbiased sample variance. Requires at least two observations.
+  double variance() const {
+    PC_EXPECTS(count_ >= 2);
+    return m2_ / static_cast<double>(count_ - 1);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean. Requires at least two observations.
+  double std_error() const {
+    return stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  double min() const {
+    PC_EXPECTS(count_ >= 1);
+    return min_;
+  }
+
+  double max() const {
+    PC_EXPECTS(count_ >= 1);
+    return max_;
+  }
+
+  /// Merges another accumulator (Chan's parallel update); enables
+  /// thread-local accumulation in the experiment runner.
+  void merge(const Welford& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace plurality

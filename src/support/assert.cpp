@@ -1,0 +1,21 @@
+#include "support/assert.hpp"
+
+#include <string>
+
+namespace plurality::detail {
+
+void contract_failure(const char* kind, const char* condition,
+                      const char* file, int line) {
+  std::string msg;
+  msg.reserve(128);
+  msg += kind;
+  msg += " violated: ";
+  msg += condition;
+  msg += " at ";
+  msg += file;
+  msg += ':';
+  msg += std::to_string(line);
+  throw ContractViolation(msg);
+}
+
+}  // namespace plurality::detail

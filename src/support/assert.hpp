@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file assert.hpp
+/// Contract checking (preconditions, postconditions, invariants).
+///
+/// Following the C++ Core Guidelines (I.5/I.6/I.7/I.8) every public
+/// function states its contract with PC_EXPECTS / PC_ENSURES. Violations
+/// throw plurality::ContractViolation rather than aborting, which keeps
+/// contracts testable with EXPECT_THROW and gives callers a diagnosable
+/// error instead of a core dump.
+
+#include <stdexcept>
+#include <string>
+
+namespace plurality {
+
+/// Thrown when a PC_EXPECTS / PC_ENSURES / PC_ASSERT condition fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+/// Builds the diagnostic message and throws ContractViolation.
+[[noreturn]] void contract_failure(const char* kind, const char* condition,
+                                   const char* file, int line);
+
+}  // namespace detail
+}  // namespace plurality
+
+/// Precondition check: argument and state requirements at function entry.
+#define PC_EXPECTS(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::plurality::detail::contract_failure("precondition", #cond,       \
+                                            __FILE__, __LINE__);         \
+  } while (false)
+
+/// Postcondition check: guarantees at function exit.
+#define PC_ENSURES(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::plurality::detail::contract_failure("postcondition", #cond,      \
+                                            __FILE__, __LINE__);         \
+  } while (false)
+
+/// Internal invariant check (mid-algorithm sanity).
+#define PC_ASSERT(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::plurality::detail::contract_failure("invariant", #cond,          \
+                                            __FILE__, __LINE__);         \
+  } while (false)

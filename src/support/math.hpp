@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file math.hpp
+/// Small numeric helpers shared across the library: guarded logarithms
+/// used by the protocol schedules, integer ceil-division, and medians.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace plurality {
+
+/// Natural logarithm with a positivity precondition.
+inline double safe_ln(double x) {
+  PC_EXPECTS(x > 0.0);
+  return std::log(x);
+}
+
+/// ln(ln(n)) floored at 1.0.
+///
+/// The paper's schedule lengths divide by log log n; for the small n used
+/// in tests log log n dips below 1 and would inflate (or invert) block
+/// lengths, so we floor the value. Requires n > 1.
+inline double ln_ln(double n) {
+  PC_EXPECTS(n > 1.0);
+  const double inner = std::log(n);
+  if (inner <= std::exp(1.0)) return 1.0;
+  return std::max(1.0, std::log(inner));
+}
+
+/// ceil(a / b) for positive integers.
+inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  PC_EXPECTS(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// ceil(x) as uint64, floored at `at_least` (default 1). Used to turn the
+/// schedule's real-valued Theta(...) expressions into usable tick counts.
+inline std::uint64_t ceil_at_least(double x, std::uint64_t at_least = 1) {
+  PC_EXPECTS(x >= 0.0);
+  const auto v = static_cast<std::uint64_t>(std::ceil(x));
+  return std::max(v, at_least);
+}
+
+/// Lower median of a non-empty range; reorders the input (nth_element).
+/// For even sizes this returns the lower of the two middle elements,
+/// matching the tie-breaking the Sync Gadget tests assume.
+template <typename T>
+T median_inplace(std::span<T> values) {
+  PC_EXPECTS(!values.empty());
+  const std::size_t mid = (values.size() - 1) / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+/// Median without mutating the caller's data (copies).
+template <typename T>
+T median_copy(std::span<const T> values) {
+  std::vector<T> scratch(values.begin(), values.end());
+  return median_inplace(std::span<T>(scratch));
+}
+
+/// |a - b| <= tol.
+inline bool approx_equal(double a, double b, double tol) {
+  return std::abs(a - b) <= tol;
+}
+
+}  // namespace plurality

@@ -1,0 +1,85 @@
+#include "urn/polya.hpp"
+
+#include <numeric>
+
+namespace plurality {
+
+namespace {
+
+/// Draws a color index with probability proportional to counts.
+/// Linear scan — urn color counts are tiny (k colors).
+std::size_t draw_weighted(std::span<const std::uint64_t> counts,
+                          std::uint64_t total, Xoshiro256& rng) {
+  PC_EXPECTS(total > 0);
+  std::uint64_t target = uniform_below(rng, total);
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (target < counts[c]) return c;
+    target -= counts[c];
+  }
+  PC_ASSERT(false);  // unreachable: counts sum to total
+  return counts.size() - 1;
+}
+
+}  // namespace
+
+PolyaUrn::PolyaUrn(std::vector<std::uint64_t> initial_counts,
+                   std::uint64_t reinforcement)
+    : counts_(std::move(initial_counts)), reinforcement_(reinforcement) {
+  PC_EXPECTS(!counts_.empty());
+  PC_EXPECTS(reinforcement_ >= 1);
+  total_ = std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+  PC_EXPECTS(total_ > 0);
+}
+
+std::size_t PolyaUrn::step(Xoshiro256& rng) {
+  const std::size_t color = draw_weighted(counts_, total_, rng);
+  counts_[color] += reinforcement_;
+  total_ += reinforcement_;
+  return color;
+}
+
+std::uint64_t PolyaUrn::count(std::size_t color) const {
+  PC_EXPECTS(color < counts_.size());
+  return counts_[color];
+}
+
+double PolyaUrn::fraction(std::size_t color) const {
+  PC_EXPECTS(color < counts_.size());
+  return static_cast<double>(counts_[color]) / static_cast<double>(total_);
+}
+
+GeneralizedUrn::GeneralizedUrn(
+    std::vector<std::uint64_t> initial_counts,
+    std::vector<std::vector<std::uint64_t>> replacement)
+    : counts_(std::move(initial_counts)),
+      replacement_(std::move(replacement)) {
+  PC_EXPECTS(!counts_.empty());
+  PC_EXPECTS(replacement_.size() == counts_.size());
+  for (const auto& row : replacement_) {
+    PC_EXPECTS(row.size() == counts_.size());
+  }
+  total_ = std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+  PC_EXPECTS(total_ > 0);
+}
+
+std::size_t GeneralizedUrn::step(Xoshiro256& rng) {
+  const std::size_t color = draw_weighted(counts_, total_, rng);
+  const auto& additions = replacement_[color];
+  for (std::size_t c = 0; c < additions.size(); ++c) {
+    counts_[c] += additions[c];
+    total_ += additions[c];
+  }
+  return color;
+}
+
+std::uint64_t GeneralizedUrn::count(std::size_t color) const {
+  PC_EXPECTS(color < counts_.size());
+  return counts_[color];
+}
+
+double GeneralizedUrn::fraction(std::size_t color) const {
+  PC_EXPECTS(color < counts_.size());
+  return static_cast<double>(counts_[color]) / static_cast<double>(total_);
+}
+
+}  // namespace plurality

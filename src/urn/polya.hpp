@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file polya.hpp
+/// Pólya urn processes. The paper's §3.1 analyzes the Bit-Propagation
+/// sub-phase as a Pólya urn: when a bit-less node copies from a uniform
+/// bit-set node, the bit-set population gains one ball of the drawn
+/// color — exactly the classic draw-and-reinforce urn, whose color
+/// fractions form a martingale. The urn module lets the tests verify
+/// that property directly, both on the abstract urn and against the
+/// protocol's realized dynamics.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+/// The classic Eggenberger–Pólya urn: draw a ball uniformly, return it
+/// together with `reinforcement` extra balls of the same color.
+class PolyaUrn {
+ public:
+  /// Requires at least one color, a positive total, reinforcement >= 1.
+  PolyaUrn(std::vector<std::uint64_t> initial_counts,
+           std::uint64_t reinforcement = 1);
+
+  /// One draw-and-reinforce step; returns the drawn color.
+  std::size_t step(Xoshiro256& rng);
+
+  std::uint64_t count(std::size_t color) const;
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t num_colors() const noexcept { return counts_.size(); }
+
+  /// Fraction of `color` among all balls.
+  double fraction(std::size_t color) const;
+
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t reinforcement_;
+};
+
+/// Generalized urn with an arbitrary replacement matrix R: drawing color
+/// i returns the ball and adds R[i][j] balls of each color j. The
+/// identity matrix recovers PolyaUrn with reinforcement 1; off-diagonal
+/// entries model cross-color feedback (e.g. Friedman urns).
+class GeneralizedUrn {
+ public:
+  /// Requires square matrix matching initial_counts, positive total.
+  GeneralizedUrn(std::vector<std::uint64_t> initial_counts,
+                 std::vector<std::vector<std::uint64_t>> replacement);
+
+  std::size_t step(Xoshiro256& rng);
+
+  std::uint64_t count(std::size_t color) const;
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t num_colors() const noexcept { return counts_.size(); }
+  double fraction(std::size_t color) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::vector<std::uint64_t>> replacement_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace plurality

@@ -1,0 +1,240 @@
+// Tests for the three engine drivers: synchronous rounds, sequential
+// asynchronous steps, continuous Poisson clocks, and the messaging
+// driver with delayed deliveries.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/delayed.hpp"
+#include "core/two_choices.hpp"
+#include "core/voter.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/continuous_engine.hpp"
+#include "sim/observers.hpp"
+#include "sim/sequential_engine.hpp"
+#include "sim/sync_driver.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+namespace {
+
+/// A protocol that never converges and counts its ticks: lets the tests
+/// pin down engine mechanics (budgets, cadence) exactly.
+class TickCounter {
+ public:
+  explicit TickCounter(std::uint64_t n)
+      : table_(make_colors(n), 2), per_node_(n, 0) {}
+
+  void on_tick(NodeId u, Xoshiro256&) { ++per_node_[u]; }
+  std::uint64_t num_nodes() const noexcept { return per_node_.size(); }
+  bool done() const noexcept { return false; }
+  const OpinionTable& table() const noexcept { return table_; }
+
+  std::uint64_t total_ticks() const {
+    std::uint64_t total = 0;
+    for (const auto t : per_node_) total += t;
+    return total;
+  }
+  std::uint64_t ticks_of(NodeId u) const { return per_node_[u]; }
+
+ private:
+  static std::vector<ColorId> make_colors(std::uint64_t n) {
+    std::vector<ColorId> c(n, 0);
+    c[0] = 1;  // keep two colors alive so done() stays false
+    return c;
+  }
+  OpinionTable table_;
+  std::vector<std::uint64_t> per_node_;
+};
+
+static_assert(AsyncProtocol<TickCounter>);
+static_assert(AsyncProtocol<TwoChoicesAsync<CompleteGraph>>);
+static_assert(SyncProtocol<TwoChoicesSync<CompleteGraph>>);
+static_assert(MessagingProtocol<TwoChoicesAsyncDelayed<CompleteGraph>>);
+
+TEST(SequentialEngine, ExecutesExactlyMaxTimeTimesN) {
+  TickCounter proto(64);
+  Xoshiro256 rng(1);
+  const auto result = run_sequential(proto, rng, 10.0);
+  EXPECT_EQ(result.ticks, 640u);
+  EXPECT_DOUBLE_EQ(result.time, 10.0);
+  EXPECT_FALSE(result.consensus);
+  EXPECT_EQ(proto.total_ticks(), 640u);
+}
+
+TEST(SequentialEngine, TicksSpreadUniformly) {
+  TickCounter proto(16);
+  Xoshiro256 rng(2);
+  run_sequential(proto, rng, 1000.0);
+  // Each node expects 1000 ticks, sd ~ 31; allow 6 sigma.
+  for (NodeId u = 0; u < 16; ++u) {
+    EXPECT_NEAR(static_cast<double>(proto.ticks_of(u)), 1000.0, 190.0);
+  }
+}
+
+TEST(SequentialEngine, StopsOnConsensus) {
+  const CompleteGraph g(64);
+  Xoshiro256 rng(3);
+  VoterAsync proto(g, assign_two_colors(64, 60, rng));
+  const auto result = run_sequential(proto, rng, 1e6);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_LT(result.time, 1e6);
+  EXPECT_TRUE(proto.table().has_consensus());
+}
+
+TEST(SequentialEngine, ObserverCadence) {
+  TickCounter proto(10);
+  Xoshiro256 rng(4);
+  std::vector<double> sample_times;
+  run_sequential(
+      proto, rng, 5.0,
+      [&](double t, const TickCounter&) { sample_times.push_back(t); },
+      1.0);
+  // Samples at t = 0,1,2,3,4 plus the final sample at t = 5.
+  ASSERT_EQ(sample_times.size(), 6u);
+  EXPECT_DOUBLE_EQ(sample_times.front(), 0.0);
+  EXPECT_DOUBLE_EQ(sample_times.back(), 5.0);
+}
+
+TEST(SequentialEngine, Contracts) {
+  TickCounter proto(4);
+  Xoshiro256 rng(5);
+  EXPECT_THROW(run_sequential(proto, rng, 0.0), ContractViolation);
+  EXPECT_THROW(run_sequential(proto, rng, 1.0, NullObserver{}, 0.0),
+               ContractViolation);
+}
+
+TEST(ContinuousEngine, TickCountConcentratesAroundNT) {
+  TickCounter proto(256);
+  Xoshiro256 rng(6);
+  const double horizon = 50.0;
+  const auto result = run_continuous(proto, rng, horizon);
+  // Total ticks ~ Poisson(n * t): mean 12800, sd ~ 113; allow 6 sigma.
+  EXPECT_NEAR(static_cast<double>(result.ticks), 256.0 * horizon, 700.0);
+  EXPECT_LE(result.time, horizon);
+}
+
+TEST(ContinuousEngine, PerNodeTicksArePoissonLike) {
+  TickCounter proto(64);
+  Xoshiro256 rng(7);
+  const double horizon = 400.0;
+  run_continuous(proto, rng, horizon);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (NodeId u = 0; u < 64; ++u) {
+    const auto t = static_cast<double>(proto.ticks_of(u));
+    sum += t;
+    sum_sq += t * t;
+  }
+  const double mean = sum / 64.0;
+  const double var = sum_sq / 64.0 - mean * mean;
+  EXPECT_NEAR(mean, horizon, 20.0);
+  // Poisson: variance == mean. Wide tolerance, 64 nodes only.
+  EXPECT_NEAR(var, horizon, 200.0);
+}
+
+TEST(ContinuousEngine, StopsOnConsensus) {
+  const CompleteGraph g(64);
+  Xoshiro256 rng(8);
+  TwoChoicesAsync proto(g, assign_two_colors(64, 56, rng));
+  const auto result = run_continuous(proto, rng, 1e6);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, 0u);
+  EXPECT_LT(result.time, 1e6);
+}
+
+TEST(ContinuousEngine, TimeIsMonotoneInObserver) {
+  TickCounter proto(32);
+  Xoshiro256 rng(9);
+  double last = -1.0;
+  run_continuous(
+      proto, rng, 20.0,
+      [&](double t, const TickCounter&) {
+        EXPECT_GE(t, last);
+        last = t;
+      },
+      2.0);
+  EXPECT_GT(last, 0.0);
+}
+
+TEST(MessagingEngine, DelayedTwoChoicesReachesConsensus) {
+  const CompleteGraph g(128);
+  Xoshiro256 rng(10);
+  TwoChoicesAsyncDelayed proto(g, assign_two_colors(128, 112, rng),
+                               /*delay_rate=*/4.0);
+  const auto result = run_continuous_messaging(proto, rng, 1e5);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, 0u);
+}
+
+TEST(MessagingEngine, HugeDelaysStallProgress) {
+  const CompleteGraph g(64);
+  Xoshiro256 rng(11);
+  // Mean delay 1000 time units >> horizon: almost no answer arrives, so
+  // almost no node ever flips.
+  TwoChoicesAsyncDelayed proto(g, assign_two_colors(64, 40, rng),
+                               /*delay_rate=*/0.001);
+  const auto result = run_continuous_messaging(proto, rng, 5.0);
+  EXPECT_FALSE(result.consensus);
+  EXPECT_GE(proto.table().support(1), 15u);  // minority barely dented
+}
+
+TEST(SyncDriver, RunsUntilConsensusAndReportsRounds) {
+  const CompleteGraph g(128);
+  Xoshiro256 rng(12);
+  TwoChoicesSync proto(g, assign_two_colors(128, 112, rng));
+  const auto result = run_sync(proto, rng, 10000);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, 0u);
+  EXPECT_EQ(result.rounds, proto.rounds());
+  EXPECT_GT(result.rounds, 0u);
+}
+
+TEST(SyncDriver, RespectsRoundBudget) {
+  const CompleteGraph g(128);
+  Xoshiro256 rng(13);
+  // Zero bias, many colors: 3 rounds will not reach consensus.
+  TwoChoicesSync proto(g, assign_equal(128, 16, rng));
+  const auto result = run_sync(proto, rng, 3);
+  EXPECT_EQ(result.rounds, 3u);
+  EXPECT_FALSE(result.consensus);
+}
+
+TEST(SyncDriver, ObserverSeesEveryRound) {
+  const CompleteGraph g(32);
+  Xoshiro256 rng(14);
+  VoterSync proto(g, assign_two_colors(32, 28, rng));
+  std::vector<double> rounds_seen;
+  run_sync(proto, rng, 5,
+           [&](double r, const VoterSync<CompleteGraph>&) {
+             rounds_seen.push_back(r);
+           });
+  // done-after-r rounds: observer fires before each round + once at end.
+  ASSERT_GE(rounds_seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(rounds_seen.front(), 0.0);
+  for (std::size_t i = 1; i < rounds_seen.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rounds_seen[i], rounds_seen[i - 1] + 1.0);
+  }
+}
+
+TEST(TraceObserver, RecordsSnapshots) {
+  const CompleteGraph g(64);
+  Xoshiro256 rng(15);
+  TwoChoicesAsync proto(g, assign_two_colors(64, 48, rng));
+  TraceObserver trace;
+  run_sequential(proto, rng, 100.0, std::ref(trace), 1.0);
+  ASSERT_GE(trace.points().size(), 2u);
+  EXPECT_EQ(trace.points().front().snapshot.n, 64u);
+  // Supports in each snapshot sum to n.
+  for (const auto& pt : trace.points()) {
+    std::uint64_t sum = 0;
+    for (const auto s : pt.snapshot.sorted_supports) sum += s;
+    EXPECT_EQ(sum, 64u);
+  }
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,80 @@
+// Unit tests for the discrete-event queue: time ordering and the
+// insertion-order tie-break that makes continuous runs deterministic.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(3.0, 30);
+  q.push(1.0, 10);
+  q.push(2.0, 20);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualTimesPopInInsertionOrder) {
+  EventQueue<std::string> q;
+  q.push(1.0, "first");
+  q.push(1.0, "second");
+  q.push(1.0, "third");
+  EXPECT_EQ(q.pop().payload, "first");
+  EXPECT_EQ(q.pop().payload, "second");
+  EXPECT_EQ(q.pop().payload, "third");
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> q;
+  q.push(5.0, 5);
+  q.push(1.0, 1);
+  EXPECT_EQ(q.pop().payload, 1);
+  q.push(2.0, 2);
+  q.push(7.0, 7);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 5);
+  EXPECT_EQ(q.pop().payload, 7);
+}
+
+TEST(EventQueue, EventCarriesItsTime) {
+  EventQueue<int> q;
+  q.push(2.5, 42);
+  const auto e = q.pop();
+  EXPECT_DOUBLE_EQ(e.time, 2.5);
+  EXPECT_EQ(e.payload, 42);
+}
+
+TEST(EventQueue, ManyEventsStaySorted) {
+  EventQueue<std::uint64_t> q;
+  // Deterministic scramble of times.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    q.push(static_cast<double>((i * 7919) % 1000), i);
+  }
+  double prev = -1.0;
+  while (!q.empty()) {
+    const auto e = q.pop();
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(EventQueue, ContractsOnEmptyAndNegativeTime) {
+  EventQueue<int> q;
+  EXPECT_THROW(q.pop(), ContractViolation);
+  EXPECT_THROW(q.next_time(), ContractViolation);
+  EXPECT_THROW(q.push(-1.0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,126 @@
+// Tests for the experiment harness: CLI args, table rendering, and the
+// thread-count-independent repetition runner.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiment/args.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/table.hpp"
+#include "rng/distributions.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+namespace {
+
+Args make_args(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsTest, ParsesKeyValuesAndFlags) {
+  const Args args = make_args({"--n=4096", "--rate=2.5", "--csv",
+                               "--name=exp_one"});
+  EXPECT_EQ(args.get_u64("n", 0), 4096u);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 2.5);
+  EXPECT_EQ(args.get_string("name", ""), "exp_one");
+  EXPECT_TRUE(args.csv());
+  EXPECT_FALSE(args.has_flag("verbose"));
+}
+
+TEST(ArgsTest, FallbacksForMissingKeys) {
+  const Args args = make_args({});
+  EXPECT_EQ(args.get_u64("n", 77), 77u);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(args.csv());
+}
+
+TEST(ArgsTest, RejectsPositionalArguments) {
+  EXPECT_THROW(make_args({"positional"}), ContractViolation);
+}
+
+TEST(TableTest, AlignedRendering) {
+  Table t("demo", {"name", "value"});
+  t.row().cell("alpha").cell(std::uint64_t{42});
+  t.row().cell("b").cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvMode) {
+  Table t("demo", {"a", "b"});
+  t.row().cell(std::uint64_t{1}).cell(std::uint64_t{2});
+  std::ostringstream os;
+  t.print(os, /*csv=*/true);
+  EXPECT_EQ(os.str(), "# demo\na,b\n1,2\n");
+}
+
+TEST(TableTest, RowWidthContract) {
+  Table t("demo", {"a", "b"});
+  t.row().cell("only-one");
+  EXPECT_THROW(t.row(), ContractViolation);  // previous row incomplete
+  Table t2("demo", {"a"});
+  t2.row().cell("x");
+  EXPECT_THROW(t2.row().cell("y").cell("z"), ContractViolation);
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  const SeedSequence seeds(31337);
+  auto body = [](std::uint64_t rep, Xoshiro256& rng) {
+    // A value depending on both the stream and the rep index.
+    return static_cast<double>(uniform_below(rng, 1000000)) +
+           static_cast<double>(rep) * 1e7;
+  };
+  const auto serial = run_repetitions(32, seeds, body, 1);
+  const auto parallel = run_repetitions(32, seeds, body, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Runner, ResultsInRepetitionOrder) {
+  const SeedSequence seeds(1);
+  const auto results = run_repetitions(
+      10, seeds,
+      [](std::uint64_t rep, Xoshiro256&) {
+        return static_cast<double>(rep);
+      },
+      4);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], static_cast<double>(i));
+  }
+}
+
+TEST(Runner, MultiSlotShapesAndOrder) {
+  const SeedSequence seeds(2);
+  const auto slots = run_repetitions_multi(
+      6, 3, seeds,
+      [](std::uint64_t rep, Xoshiro256&) {
+        const auto r = static_cast<double>(rep);
+        return std::vector<double>{r, r * 10, r * 100};
+      },
+      3);
+  ASSERT_EQ(slots.size(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    ASSERT_EQ(slots[s].size(), 6u);
+    for (std::size_t rep = 0; rep < 6; ++rep) {
+      EXPECT_DOUBLE_EQ(slots[s][rep],
+                       static_cast<double>(rep) * std::pow(10.0, s));
+    }
+  }
+}
+
+TEST(Runner, Contracts) {
+  const SeedSequence seeds(3);
+  auto body = [](std::uint64_t, Xoshiro256&) { return 0.0; };
+  EXPECT_THROW(run_repetitions(0, seeds, body), ContractViolation);
+}
+
+}  // namespace
+}  // namespace plurality

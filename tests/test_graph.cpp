@@ -1,0 +1,197 @@
+// Unit + statistical tests for the graph substrate.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+#include "graph/complete.hpp"
+#include "graph/erdos_renyi.hpp"
+#include "graph/graph.hpp"
+#include "graph/random_regular.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+namespace {
+
+static_assert(GraphTopology<CompleteGraph>);
+static_assert(GraphTopology<RingGraph>);
+static_assert(GraphTopology<TorusGraph>);
+static_assert(GraphTopology<ErdosRenyiGraph>);
+static_assert(GraphTopology<RandomRegularGraph>);
+
+TEST(CompleteGraph, NeverSamplesSelf) {
+  const CompleteGraph g(10);
+  Xoshiro256 rng(1);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (int i = 0; i < 1000; ++i) {
+      const NodeId v = g.sample_neighbor(u, rng);
+      EXPECT_NE(v, u);
+      EXPECT_LT(v, 10u);
+    }
+  }
+}
+
+TEST(CompleteGraph, CoversAllOtherNodesUniformly) {
+  const CompleteGraph g(5);
+  Xoshiro256 rng(2);
+  std::array<int, 5> counts{};
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) ++counts[g.sample_neighbor(2, rng)];
+  EXPECT_EQ(counts[2], 0);
+  for (const NodeId v : {0u, 1u, 3u, 4u}) {
+    EXPECT_NEAR(counts[v], kSamples / 4, 5 * std::sqrt(kSamples / 4.0));
+  }
+}
+
+TEST(CompleteGraph, DegreeAndSize) {
+  const CompleteGraph g(100);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.degree(0), 99u);
+  EXPECT_THROW(CompleteGraph(1), ContractViolation);
+}
+
+TEST(CompleteGraph, TwoNodesAlwaysSampleTheOther) {
+  const CompleteGraph g(2);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(g.sample_neighbor(0, rng), 1u);
+    EXPECT_EQ(g.sample_neighbor(1, rng), 0u);
+  }
+}
+
+TEST(RingGraph, OnlyAdjacentNodes) {
+  const RingGraph g(7);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId v = g.sample_neighbor(3, rng);
+    EXPECT_TRUE(v == 2 || v == 4);
+  }
+}
+
+TEST(RingGraph, WrapsAround) {
+  const RingGraph g(5);
+  Xoshiro256 rng(5);
+  std::set<NodeId> seen0;
+  std::set<NodeId> seen4;
+  for (int i = 0; i < 500; ++i) {
+    seen0.insert(g.sample_neighbor(0, rng));
+    seen4.insert(g.sample_neighbor(4, rng));
+  }
+  EXPECT_EQ(seen0, (std::set<NodeId>{4, 1}));
+  EXPECT_EQ(seen4, (std::set<NodeId>{3, 0}));
+  EXPECT_THROW(RingGraph(2), ContractViolation);
+}
+
+TEST(TorusGraph, FourDistinctNeighbors) {
+  const TorusGraph g(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.degree(0), 4u);
+  Xoshiro256 rng(6);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(g.sample_neighbor(5, rng));
+  // Node 5 is (x=1, y=1): neighbors (2,1)=6, (0,1)=4, (1,2)=9, (1,0)=1.
+  EXPECT_EQ(seen, (std::set<NodeId>{6, 4, 9, 1}));
+}
+
+TEST(TorusGraph, CornerWrapsBothAxes) {
+  const TorusGraph g(3, 3);
+  Xoshiro256 rng(7);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(g.sample_neighbor(0, rng));
+  // (0,0): east (1,0)=1, west (2,0)=2, south (0,1)=3, north (0,2)=6.
+  EXPECT_EQ(seen, (std::set<NodeId>{1, 2, 3, 6}));
+  EXPECT_THROW(TorusGraph(2, 5), ContractViolation);
+}
+
+TEST(AdjacencyList, CsrLayout) {
+  const std::vector<std::vector<NodeId>> lists{{1, 2}, {0}, {0}};
+  const AdjacencyList adj(lists);
+  EXPECT_EQ(adj.num_nodes(), 3u);
+  EXPECT_EQ(adj.degree(0), 2u);
+  EXPECT_EQ(adj.degree(1), 1u);
+  EXPECT_EQ(adj.num_edges(), 2u);
+  const auto row = adj.neighbors(0);
+  EXPECT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], 1u);
+  EXPECT_EQ(row[1], 2u);
+}
+
+TEST(AdjacencyList, SampleFromEmptyRowViolatesContract) {
+  const std::vector<std::vector<NodeId>> lists{{1}, {0}, {}};
+  const AdjacencyList adj(lists);
+  Xoshiro256 rng(8);
+  EXPECT_THROW(adj.sample_neighbor(2, rng), ContractViolation);
+}
+
+TEST(ErdosRenyi, FullProbabilityGivesClique) {
+  Xoshiro256 rng(9);
+  const ErdosRenyiGraph g(8, 1.0, rng);
+  for (NodeId u = 0; u < 8; ++u) EXPECT_EQ(g.degree(u), 7u);
+  EXPECT_EQ(g.num_isolated(), 0u);
+  EXPECT_EQ(g.num_edges(), 28u);
+}
+
+TEST(ErdosRenyi, MeanDegreeMatchesNP) {
+  Xoshiro256 rng(10);
+  const std::uint64_t n = 2000;
+  const double p = 0.01;
+  const ErdosRenyiGraph g(n, p, rng);
+  double total_degree = 0.0;
+  for (NodeId u = 0; u < n; ++u) total_degree += g.degree(u);
+  const double mean_degree = total_degree / n;
+  const double expected = p * (n - 1);
+  EXPECT_NEAR(mean_degree, expected, 1.0);
+}
+
+TEST(ErdosRenyi, SamplesAreActualNeighbors) {
+  Xoshiro256 rng(11);
+  const ErdosRenyiGraph g(50, 0.3, rng);
+  for (NodeId u = 0; u < 50; ++u) {
+    if (g.degree(u) == 0) continue;
+    for (int i = 0; i < 20; ++i) {
+      const NodeId v = g.sample_neighbor(u, rng);
+      EXPECT_NE(v, u);
+      EXPECT_LT(v, 50u);
+    }
+  }
+}
+
+TEST(ErdosRenyi, SparseGraphReportsIsolatedNodes) {
+  Xoshiro256 rng(12);
+  const ErdosRenyiGraph g(500, 0.0005, rng);
+  // Expected degree ~ 0.25: most nodes are isolated.
+  EXPECT_GT(g.num_isolated(), 100u);
+  EXPECT_THROW(ErdosRenyiGraph(2, 0.0, rng), ContractViolation);
+}
+
+TEST(RandomRegular, ExactDegrees) {
+  Xoshiro256 rng(13);
+  const RandomRegularGraph g(100, 4, rng);
+  for (NodeId u = 0; u < 100; ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_EQ(g.defects(), 0u);
+}
+
+TEST(RandomRegular, OddDegreeTimesOddNodesRejected) {
+  Xoshiro256 rng(14);
+  EXPECT_THROW(RandomRegularGraph(5, 3, rng), ContractViolation);
+  EXPECT_NO_THROW(RandomRegularGraph(6, 3, rng));
+}
+
+TEST(RandomRegular, NeighborsAreValid) {
+  Xoshiro256 rng(15);
+  const RandomRegularGraph g(64, 6, rng);
+  for (NodeId u = 0; u < 64; ++u) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_LT(g.sample_neighbor(u, rng), 64u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plurality

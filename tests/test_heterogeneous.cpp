@@ -1,0 +1,135 @@
+// Tests for heterogeneous Poisson clocks (§4's "more general setting").
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/async_one_extra_bit.hpp"
+#include "core/two_choices.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/heterogeneous.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+namespace {
+
+/// Tick counter reused from the engine tests, local copy.
+class TickCounter {
+ public:
+  explicit TickCounter(std::uint64_t n)
+      : table_(make_colors(n), 2), per_node_(n, 0) {}
+  void on_tick(NodeId u, Xoshiro256&) { ++per_node_[u]; }
+  std::uint64_t num_nodes() const noexcept { return per_node_.size(); }
+  bool done() const noexcept { return false; }
+  const OpinionTable& table() const noexcept { return table_; }
+  std::uint64_t ticks_of(NodeId u) const { return per_node_[u]; }
+
+ private:
+  static std::vector<ColorId> make_colors(std::uint64_t n) {
+    std::vector<ColorId> c(n, 0);
+    c[0] = 1;
+    return c;
+  }
+  OpinionTable table_;
+  std::vector<std::uint64_t> per_node_;
+};
+
+TEST(Heterogeneous, FastNodesTickProportionallyMore) {
+  const std::uint64_t n = 64;
+  TickCounter proto(n);
+  std::vector<double> rates(n, 1.0);
+  for (NodeId u = 0; u < n / 2; ++u) rates[u] = 3.0;  // first half 3x
+  Xoshiro256 rng(1);
+  run_continuous_heterogeneous(proto, rng, rates, 200.0);
+  double fast = 0.0;
+  double slow = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    (u < n / 2 ? fast : slow) += static_cast<double>(proto.ticks_of(u));
+  }
+  EXPECT_NEAR(fast / slow, 3.0, 0.3);
+}
+
+TEST(Heterogeneous, UniformRatesMatchBaseModel) {
+  const std::uint64_t n = 128;
+  TickCounter proto(n);
+  const auto rates = clock_rates::uniform(n);
+  Xoshiro256 rng(2);
+  const auto result =
+      run_continuous_heterogeneous(proto, rng, rates, 50.0);
+  EXPECT_NEAR(static_cast<double>(result.ticks), 50.0 * n,
+              6.0 * std::sqrt(50.0 * n));
+}
+
+TEST(Heterogeneous, RejectsBadRates) {
+  TickCounter proto(4);
+  Xoshiro256 rng(3);
+  const std::vector<double> wrong_size{1.0, 1.0};
+  EXPECT_THROW(
+      run_continuous_heterogeneous(proto, rng, wrong_size, 1.0),
+      ContractViolation);
+  const std::vector<double> zero_rate{1.0, 0.0, 1.0, 1.0};
+  EXPECT_THROW(run_continuous_heterogeneous(proto, rng, zero_rate, 1.0),
+               ContractViolation);
+}
+
+TEST(ClockRates, TwoSpeedPreservesMeanRate) {
+  Xoshiro256 rng(4);
+  const auto rates = clock_rates::two_speed(10000, 0.3, 0.25, rng);
+  const double mean =
+      std::accumulate(rates.begin(), rates.end(), 0.0) / 10000.0;
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+  std::uint64_t slow = 0;
+  for (const double r : rates) slow += (r < 0.5);
+  EXPECT_EQ(slow, 3000u);
+}
+
+TEST(ClockRates, LogNormalMeanOneAndSpread) {
+  Xoshiro256 rng(5);
+  const auto rates = clock_rates::log_normal(20000, 0.5, rng);
+  const double mean =
+      std::accumulate(rates.begin(), rates.end(), 0.0) / 20000.0;
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  // sigma = 0 degenerates to uniform.
+  const auto flat = clock_rates::log_normal(100, 0.0, rng);
+  for (const double r : flat) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(ClockRates, Contracts) {
+  Xoshiro256 rng(6);
+  EXPECT_THROW(clock_rates::two_speed(10, 1.0, 0.5, rng),
+               ContractViolation);
+  EXPECT_THROW(clock_rates::two_speed(10, 0.5, 1.5, rng),
+               ContractViolation);
+  EXPECT_THROW(clock_rates::log_normal(10, -1.0, rng),
+               ContractViolation);
+}
+
+TEST(Heterogeneous, TwoChoicesStillConvergesUnderMildSkew) {
+  const std::uint64_t n = 1024;
+  const CompleteGraph g(n);
+  Xoshiro256 rng(7);
+  const auto rates = clock_rates::log_normal(n, 0.3, rng);
+  TwoChoicesAsync proto(g, assign_two_colors(n, (n * 3) / 4, rng));
+  const auto result =
+      run_continuous_heterogeneous(proto, rng, rates, 1e5);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, 0u);
+}
+
+TEST(Heterogeneous, AsyncOEBSurvivesMildSkew) {
+  const std::uint64_t n = 2048;
+  const CompleteGraph g(n);
+  Xoshiro256 rng(8);
+  const auto rates = clock_rates::two_speed(n, 0.1, 0.5, rng);
+  auto proto = AsyncOneExtraBit<CompleteGraph>::make(
+      g, assign_plurality_bias(n, 4, n / 4, rng));
+  const auto result =
+      run_continuous_heterogeneous(proto, rng, rates, 1e5);
+  EXPECT_TRUE(result.consensus || proto.nodes_finished() == n);
+  if (result.consensus) EXPECT_EQ(result.winner, 0u);
+}
+
+}  // namespace
+}  // namespace plurality

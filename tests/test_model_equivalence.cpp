@@ -1,0 +1,75 @@
+// The sequential model (uniform node per step, time = steps/n) and the
+// continuous Poisson-clock model yield the same run-time distribution
+// (paper §1, ref [4]). These tests verify the equivalence empirically —
+// the unit-test version of experiment E9.
+
+#include <gtest/gtest.h>
+
+#include "core/two_choices.hpp"
+#include "core/voter.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "rng/seed.hpp"
+#include "sim/continuous_engine.hpp"
+#include "sim/sequential_engine.hpp"
+#include "stats/quantiles.hpp"
+
+namespace plurality {
+namespace {
+
+template <typename MakeProto>
+std::vector<double> consensus_times(MakeProto&& make_proto, bool sequential,
+                                    std::uint64_t reps,
+                                    std::uint64_t seed_base) {
+  const SeedSequence seeds(seed_base);
+  std::vector<double> times;
+  times.reserve(reps);
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    Xoshiro256 rng = seeds.make_rng(rep);
+    auto proto = make_proto(rng);
+    const auto result = sequential ? run_sequential(proto, rng, 1e6)
+                                   : run_continuous(proto, rng, 1e6);
+    EXPECT_TRUE(result.consensus);
+    times.push_back(result.time);
+  }
+  return times;
+}
+
+TEST(ModelEquivalence, TwoChoicesMeanTimesAgree) {
+  const std::uint64_t n = 1024;
+  const CompleteGraph g(n);
+  auto make = [&](Xoshiro256& rng) {
+    return TwoChoicesAsync<CompleteGraph>(
+        g, assign_two_colors(n, (n * 3) / 4, rng));
+  };
+  constexpr std::uint64_t kReps = 30;
+  const auto seq = consensus_times(make, true, kReps, 10);
+  const auto cont = consensus_times(make, false, kReps, 20);
+  const Summary seq_summary = summarize(seq);
+  const Summary cont_summary = summarize(cont);
+  // Means agree within the sum of the 95% confidence half-widths plus
+  // a small absolute slack.
+  const double tolerance = seq_summary.ci95_halfwidth +
+                           cont_summary.ci95_halfwidth + 1.0;
+  EXPECT_NEAR(seq_summary.mean, cont_summary.mean, tolerance);
+}
+
+TEST(ModelEquivalence, VoterMedianTimesAgree) {
+  const std::uint64_t n = 256;
+  const CompleteGraph g(n);
+  auto make = [&](Xoshiro256& rng) {
+    return VoterAsync<CompleteGraph>(g, assign_two_colors(n, n / 2, rng));
+  };
+  constexpr std::uint64_t kReps = 30;
+  const auto seq = consensus_times(make, true, kReps, 30);
+  const auto cont = consensus_times(make, false, kReps, 40);
+  // Voter on the clique takes Theta(n) time with heavy tails; compare
+  // medians with a generous multiplicative band.
+  const double med_seq = quantile(seq, 0.5);
+  const double med_cont = quantile(cont, 0.5);
+  EXPECT_LT(med_seq, 3.0 * med_cont);
+  EXPECT_LT(med_cont, 3.0 * med_seq);
+}
+
+}  // namespace
+}  // namespace plurality

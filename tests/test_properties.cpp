@@ -1,0 +1,223 @@
+// Parameterized property sweeps (TEST_P): invariants that must hold
+// across grids of (n, k, bias, protocol, seed) — conservation of nodes,
+// absorbing consensus, valid winners, schedule well-formedness.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "core/async_one_extra_bit.hpp"
+#include "core/one_extra_bit.hpp"
+#include "core/schedule.hpp"
+#include "core/three_majority.hpp"
+#include "core/two_choices.hpp"
+#include "core/voter.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/sequential_engine.hpp"
+#include "sim/sync_driver.hpp"
+
+namespace plurality {
+namespace {
+
+// ---------------------------------------------------------------------
+// Support conservation + valid winner across (n, k) for every protocol.
+
+using GridParam = std::tuple<std::uint64_t /*n*/, std::uint32_t /*k*/>;
+
+class ProtocolGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(ProtocolGrid, SyncProtocolsConserveNodesAndFinishValid) {
+  const auto [n, k] = GetParam();
+  const CompleteGraph g(n);
+  Xoshiro256 rng(n * 31 + k);
+
+  auto check = [&](auto proto) {
+    for (int r = 0; r < 12 && !proto.done(); ++r) {
+      proto.execute_round(rng);
+      const auto s = proto.table().supports();
+      ASSERT_EQ(std::accumulate(s.begin(), s.end(), std::uint64_t{0}), n);
+      ASSERT_GE(proto.table().surviving_colors(), 1u);
+      ASSERT_LE(proto.table().surviving_colors(), k);
+    }
+  };
+  check(VoterSync(g, assign_equal(n, k, rng)));
+  check(TwoChoicesSync(g, assign_equal(n, k, rng)));
+  check(ThreeMajoritySync(g, assign_equal(n, k, rng)));
+  check(OneExtraBitSync(g, assign_equal(n, k, rng)));
+}
+
+TEST_P(ProtocolGrid, AsyncProtocolsConserveNodesAndFinishValid) {
+  const auto [n, k] = GetParam();
+  const CompleteGraph g(n);
+  Xoshiro256 rng(n * 37 + k);
+
+  auto check = [&](auto proto) {
+    run_sequential(proto, rng, 30.0);
+    const auto s = proto.table().supports();
+    ASSERT_EQ(std::accumulate(s.begin(), s.end(), std::uint64_t{0}), n);
+    if (proto.table().has_consensus()) {
+      ASSERT_LT(proto.table().consensus_color(), k);
+    }
+  };
+  check(VoterAsync(g, assign_equal(n, k, rng)));
+  check(TwoChoicesAsync(g, assign_equal(n, k, rng)));
+  check(ThreeMajorityAsync(g, assign_equal(n, k, rng)));
+  check(AsyncOneExtraBit<CompleteGraph>::make(g, assign_equal(n, k, rng)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeByColors, ProtocolGrid,
+    ::testing::Combine(::testing::Values(64, 256, 1024),
+                       ::testing::Values(2, 5, 16)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Bias monotonicity: stronger initial bias never hurts the plurality's
+// win rate (checked coarsely at three bias levels).
+
+class BiasSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BiasSweep, PluralityWinRateReasonable) {
+  const std::uint64_t bias = GetParam();
+  const std::uint64_t n = 512;
+  const CompleteGraph g(n);
+  int wins = 0;
+  constexpr int kReps = 12;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(rep) * 977 + bias);
+    TwoChoicesAsync proto(g, assign_two_colors(n, n / 2 + bias / 2, rng));
+    const auto result = run_sequential(proto, rng, 1e5);
+    ASSERT_TRUE(result.consensus);
+    wins += (result.winner == 0);
+  }
+  if (bias >= 128) {
+    EXPECT_GE(wins, kReps - 1);  // strong bias: near-certain win
+  } else {
+    EXPECT_GE(wins, kReps / 4);  // weak bias: at least not dominated
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasLevels, BiasSweep,
+                         ::testing::Values(16, 64, 128, 256));
+
+// ---------------------------------------------------------------------
+// Schedule well-formedness across a wide (n, k) grid.
+
+using ScheduleParam = std::tuple<std::uint64_t, std::uint32_t>;
+
+class ScheduleGrid : public ::testing::TestWithParam<ScheduleParam> {};
+
+TEST_P(ScheduleGrid, WellFormedForAllSizes) {
+  const auto [n, k] = GetParam();
+  const AsyncSchedule s(n, k);
+  EXPECT_GE(s.delta(), 1u);
+  EXPECT_GE(s.bp_ticks(), 1u);
+  EXPECT_GE(s.sync_ticks(), 1u);
+  EXPECT_EQ(s.phase_length(),
+            6 * s.delta() + s.bp_ticks() + s.sync_ticks() + 1);
+  EXPECT_EQ(s.part1_length(), s.num_phases() * s.phase_length());
+  // Every working time maps to exactly one op; spot-check the whole
+  // first phase plus the boundaries.
+  for (std::uint64_t wt = 0; wt < s.phase_length(); ++wt) {
+    const auto op = s.op_at(wt);
+    EXPECT_TRUE(op == AsyncSchedule::Op::kTwoChoicesSample ||
+                op == AsyncSchedule::Op::kCommit ||
+                op == AsyncSchedule::Op::kBitProp ||
+                op == AsyncSchedule::Op::kSyncSample ||
+                op == AsyncSchedule::Op::kJump ||
+                op == AsyncSchedule::Op::kWait);
+  }
+  EXPECT_EQ(s.op_at(s.total_length()), AsyncSchedule::Op::kDone);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ScheduleGrid,
+    ::testing::Combine(::testing::Values(3, 8, 100, 4096, 1u << 20),
+                       ::testing::Values(1, 2, 64, 4096)),
+    [](const ::testing::TestParamInfo<ScheduleParam>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Workload generators: exactness across a grid.
+
+using WorkloadParam = std::tuple<std::uint64_t, std::uint32_t>;
+
+class WorkloadGrid : public ::testing::TestWithParam<WorkloadParam> {};
+
+TEST_P(WorkloadGrid, GeneratorsAreExact) {
+  const auto [n, k] = GetParam();
+  if (n < k + 10) GTEST_SKIP() << "n too small for this k";
+  Xoshiro256 rng(n + k);
+
+  const auto eq = assign_equal(n, k, rng);
+  EXPECT_EQ(std::accumulate(eq.counts.begin(), eq.counts.end(),
+                            std::uint64_t{0}),
+            n);
+
+  const auto biased = assign_plurality_bias(n, std::max(k, 2u), 10, rng);
+  EXPECT_EQ(std::accumulate(biased.counts.begin(), biased.counts.end(),
+                            std::uint64_t{0}),
+            n);
+  EXPECT_GE(biased.bias(), 10);
+
+  const auto geo = assign_geometric(n, k, 0.7, rng);
+  EXPECT_EQ(std::accumulate(geo.counts.begin(), geo.counts.end(),
+                            std::uint64_t{0}),
+            n);
+  for (const auto c : geo.counts) EXPECT_GE(c, 1u);
+
+  const auto dir = assign_dirichlet(n, k, 2.0, rng);
+  EXPECT_EQ(std::accumulate(dir.counts.begin(), dir.counts.end(),
+                            std::uint64_t{0}),
+            n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorkloadGrid,
+    ::testing::Combine(::testing::Values(50, 1000, 65536),
+                       ::testing::Values(2, 7, 32)),
+    [](const ::testing::TestParamInfo<WorkloadParam>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Consensus absorbing across protocols and models (property form).
+
+class AbsorbingGrid : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AbsorbingGrid, ConsensusNeverBreaks) {
+  const std::uint32_t k = GetParam();
+  const std::uint64_t n = 128;
+  const CompleteGraph g(n);
+  Xoshiro256 rng(k * 131);
+  // All nodes already agree on the last color.
+  std::vector<std::uint64_t> counts(k, 0);
+  counts[k - 1] = n;
+  {
+    TwoChoicesAsync proto(g, assign_exact(counts, rng));
+    run_sequential(proto, rng, 20.0);
+    EXPECT_TRUE(proto.table().has_consensus());
+    EXPECT_EQ(proto.table().consensus_color(), k - 1);
+  }
+  {
+    auto proto =
+        AsyncOneExtraBit<CompleteGraph>::make(g, assign_exact(counts, rng));
+    run_sequential(proto, rng, 20.0);
+    EXPECT_TRUE(proto.table().has_consensus());
+    EXPECT_EQ(proto.table().consensus_color(), k - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Colors, AbsorbingGrid,
+                         ::testing::Values(2, 3, 9, 33));
+
+}  // namespace
+}  // namespace plurality

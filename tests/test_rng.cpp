@@ -1,0 +1,315 @@
+// Unit + statistical tests for the RNG stack. Statistical assertions use
+// wide tolerances (>= 5 sigma) with fixed seeds, so they are
+// deterministic in practice and never flaky.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+#include "rng/distributions.hpp"
+#include "rng/seed.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(SplitMix64, KnownVectors) {
+  // Reference outputs for seed 1234567 from the public-domain reference
+  // implementation.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+  EXPECT_EQ(sm.next(), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 a(99);
+  SplitMix64 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  b.jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(a.next());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(seen.count(b.next()));
+}
+
+TEST(Xoshiro, LongJumpDiffersFromJump) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  a.jump();
+  b.long_jump();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, BitBalance) {
+  // Each bit position should be ~50% ones.
+  Xoshiro256 rng(7);
+  constexpr int kSamples = 20000;
+  std::array<int, 64> ones{};
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t x = rng.next();
+    for (int bit = 0; bit < 64; ++bit) ones[bit] += (x >> bit) & 1;
+  }
+  for (int bit = 0; bit < 64; ++bit) {
+    EXPECT_NEAR(ones[bit], kSamples / 2, 5 * std::sqrt(kSamples) / 2)
+        << "bit " << bit;
+  }
+}
+
+TEST(SeedSequence, StreamsAreDistinctAndStable) {
+  const SeedSequence seeds(2024);
+  EXPECT_EQ(seeds.stream(0), seeds.stream(0));
+  std::set<std::uint64_t> all;
+  for (std::uint64_t i = 0; i < 1000; ++i) all.insert(seeds.stream(i));
+  EXPECT_EQ(all.size(), 1000u);
+}
+
+TEST(SeedSequence, ChildSequencesDecorrelated) {
+  const SeedSequence root(5);
+  EXPECT_NE(root.child(0).stream(0), root.child(1).stream(0));
+  EXPECT_NE(root.child(0).stream(0), root.stream(0));
+}
+
+TEST(UniformBelow, RespectsBound) {
+  Xoshiro256 rng(3);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(uniform_below(rng, bound), bound);
+    }
+  }
+}
+
+TEST(UniformBelow, BoundOneAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_below(rng, 1), 0u);
+}
+
+TEST(UniformBelow, ZeroBoundViolatesContract) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(uniform_below(rng, 0), ContractViolation);
+}
+
+TEST(UniformBelow, ChiSquareUniformity) {
+  Xoshiro256 rng(11);
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) ++counts[uniform_below(rng, kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 degrees of freedom; 99.99th percentile ~ 44.3.
+  EXPECT_LT(chi2, 45.0);
+}
+
+TEST(UniformRange, InclusiveBounds) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = uniform_range(rng, -3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(UniformUnit, HalfOpenRangeAndMean) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = uniform_unit(rng);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.005);
+}
+
+TEST(UniformOpen, NeverZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = uniform_open(rng);
+    ASSERT_GT(u, 0.0);
+    ASSERT_LE(u, 1.0);
+  }
+}
+
+TEST(Bernoulli, EdgeProbabilities) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(bernoulli(rng, 0.0));
+    EXPECT_TRUE(bernoulli(rng, 1.0));
+  }
+  EXPECT_THROW(bernoulli(rng, 1.5), ContractViolation);
+  EXPECT_THROW(bernoulli(rng, -0.1), ContractViolation);
+}
+
+TEST(Bernoulli, FrequencyMatchesP) {
+  Xoshiro256 rng(8);
+  constexpr int kSamples = 100000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) hits += bernoulli(rng, 0.3);
+  EXPECT_NEAR(hits / static_cast<double>(kSamples), 0.3, 0.01);
+}
+
+TEST(Exponential, MeanAndVariance) {
+  Xoshiro256 rng(13);
+  constexpr int kSamples = 200000;
+  const double rate = 2.5;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = exponential(rng, rate);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 1.0 / rate, 0.01);
+  EXPECT_NEAR(var, 1.0 / (rate * rate), 0.02);
+  EXPECT_THROW(exponential(rng, 0.0), ContractViolation);
+}
+
+TEST(Poisson, SmallMeanMoments) {
+  Xoshiro256 rng(17);
+  constexpr int kSamples = 100000;
+  const double mean = 3.7;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto x = static_cast<double>(poisson(rng, mean));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / kSamples;
+  const double var = sum_sq / kSamples - m * m;
+  EXPECT_NEAR(m, mean, 0.05);
+  EXPECT_NEAR(var, mean, 0.1);  // Poisson: variance == mean
+}
+
+TEST(Poisson, LargeMeanUsesSplitAndStaysExact) {
+  Xoshiro256 rng(19);
+  constexpr int kSamples = 20000;
+  const double mean = 500.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto x = static_cast<double>(poisson(rng, mean));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / kSamples;
+  const double var = sum_sq / kSamples - m * m;
+  EXPECT_NEAR(m, mean, 1.0);
+  EXPECT_NEAR(var, mean, 25.0);
+}
+
+TEST(Poisson, ZeroMeanIsZero) {
+  Xoshiro256 rng(19);
+  EXPECT_EQ(poisson(rng, 0.0), 0u);
+}
+
+TEST(Gamma, MeanMatchesShape) {
+  Xoshiro256 rng(23);
+  constexpr int kSamples = 100000;
+  for (const double shape : {0.5, 1.0, 2.0, 7.5}) {
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i) sum += gamma(rng, shape);
+    EXPECT_NEAR(sum / kSamples, shape, 0.05 * std::max(shape, 1.0))
+        << "shape " << shape;
+  }
+  EXPECT_THROW(gamma(rng, 0.0), ContractViolation);
+}
+
+TEST(StandardNormal, Moments) {
+  Xoshiro256 rng(29);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = standard_normal(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(AliasTable, NormalizesWeights) {
+  const std::vector<double> w{1.0, 3.0};
+  const AliasTable table(w);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_NEAR(table.probability_of(0), 0.25, 1e-12);
+  EXPECT_NEAR(table.probability_of(1), 0.75, 1e-12);
+}
+
+TEST(AliasTable, SamplingFrequencies) {
+  const std::vector<double> w{0.1, 0.2, 0.3, 0.4};
+  const AliasTable table(w);
+  Xoshiro256 rng(31);
+  constexpr int kSamples = 400000;
+  std::array<int, 4> counts{};
+  for (int i = 0; i < kSamples; ++i) ++counts[table.sample(rng)];
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(counts[c] / static_cast<double>(kSamples), w[c], 0.005)
+        << "outcome " << c;
+  }
+}
+
+TEST(AliasTable, SingleOutcome) {
+  const std::vector<double> w{2.0};
+  const AliasTable table(w);
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  const AliasTable table(w);
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(AliasTable(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace plurality

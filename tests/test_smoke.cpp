@@ -1,0 +1,38 @@
+// Build smoke test: instantiates one protocol of every kind end-to-end.
+
+#include <gtest/gtest.h>
+
+#include "core/async_one_extra_bit.hpp"
+#include "core/one_extra_bit.hpp"
+#include "core/three_majority.hpp"
+#include "core/two_choices.hpp"
+#include "core/voter.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/continuous_engine.hpp"
+#include "sim/sequential_engine.hpp"
+#include "sim/sync_driver.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(Smoke, EverythingLinksAndRuns) {
+  Xoshiro256 rng(7);
+  const CompleteGraph g(256);
+
+  TwoChoicesSync sync_proto(g, assign_two_colors(256, 192, rng));
+  const auto sync_result = run_sync(sync_proto, rng, 500);
+  EXPECT_TRUE(sync_result.consensus);
+
+  TwoChoicesAsync async_proto(g, assign_two_colors(256, 192, rng));
+  const auto seq_result = run_sequential(async_proto, rng, 500.0);
+  EXPECT_TRUE(seq_result.consensus);
+
+  auto oeb = AsyncOneExtraBit<CompleteGraph>::make(
+      g, assign_two_colors(256, 192, rng));
+  const auto oeb_result = run_sequential(oeb, rng, 5000.0);
+  EXPECT_TRUE(oeb_result.consensus);
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,215 @@
+// Unit tests for stats/: Welford moments, quantiles, histogram,
+// regression fits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/regression.hpp"
+#include "stats/welford.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(Welford, MatchesDirectComputation) {
+  const std::vector<double> data{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Welford w;
+  for (const double x : data) w.add(x);
+  EXPECT_EQ(w.count(), data.size());
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  // Sample variance of this classic dataset: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, ContractsOnEmpty) {
+  const Welford w;
+  EXPECT_THROW(w.mean(), ContractViolation);
+  EXPECT_THROW(w.min(), ContractViolation);
+  Welford one;
+  one.add(1.0);
+  EXPECT_THROW(one.variance(), ContractViolation);
+}
+
+TEST(Welford, MergeEqualsCombinedStream) {
+  Welford a;
+  Welford b;
+  Welford combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(Welford, MergeWithEmptyIsIdentity) {
+  Welford a;
+  a.add(3.0);
+  a.add(5.0);
+  const double mean_before = a.mean();
+  Welford empty;
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean_before);
+}
+
+TEST(Quantile, ExactOrderStatistics) {
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.25), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> data{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.75), 7.5);
+}
+
+TEST(Quantile, SingletonAndContracts) {
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.3), 7.0);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), ContractViolation);
+  EXPECT_THROW(quantile(one, 1.5), ContractViolation);
+}
+
+TEST(Summary, BundlesAllFields) {
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0, 100.0};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_GT(s.stddev, 0.0);
+  EXPECT_GT(s.ci95_halfwidth, 0.0);
+}
+
+TEST(Summary, SingleObservationHasZeroSpread) {
+  const std::vector<double> data{4.0};
+  const Summary s = summarize(data);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth, 0.0);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, BinRange) {
+  const Histogram h(0.0, 10.0, 5);
+  const auto [lo, hi] = h.bin_range(2);
+  EXPECT_DOUBLE_EQ(lo, 4.0);
+  EXPECT_DOUBLE_EQ(hi, 6.0);
+  EXPECT_THROW(h.bin_range(5), ContractViolation);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string out = h.render(20);
+  int lines = 0;
+  for (const char c : out) lines += (c == '\n');
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Regression, ExactLinearData) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{5.0, 7.0, 9.0, 11.0};  // y = 3 + 2x
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, ConstantYIsPerfectFitWithZeroSlope) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, 4.0, 4.0};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyDataHasImperfectR2) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{2.0, 1.0, 4.0, 3.0, 6.0};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_GT(fit.slope, 0.0);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.3);
+}
+
+TEST(Regression, LogXFit) {
+  // y = 2 + 5 ln x, exactly.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 1.0; v <= 128.0; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(2.0 + 5.0 * std::log(v));
+  }
+  const LinearFit fit = fit_log_x(x, y);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 5.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, PowerLawFitRecoversExponent) {
+  // y = 3 x^1.5, exactly.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 1.0; v <= 64.0; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.5));
+  }
+  const LinearFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, 1.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(Regression, Contracts) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_linear(one, one), ContractViolation);
+  const std::vector<double> same_x{1.0, 1.0};
+  const std::vector<double> y2{1.0, 2.0};
+  EXPECT_THROW(fit_linear(same_x, y2), ContractViolation);
+  const std::vector<double> neg{-1.0, 2.0};
+  EXPECT_THROW(fit_log_x(neg, y2), ContractViolation);
+  EXPECT_THROW(fit_power_law(y2, neg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace plurality

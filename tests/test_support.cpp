@@ -1,0 +1,123 @@
+// Unit tests for support/: contract macros and math helpers.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(PC_EXPECTS(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(PC_EXPECTS(1 == 1));
+}
+
+TEST(Contracts, EnsuresThrowsOnViolation) {
+  EXPECT_THROW(PC_ENSURES(false), ContractViolation);
+  EXPECT_NO_THROW(PC_ENSURES(true));
+}
+
+TEST(Contracts, AssertThrowsOnViolation) {
+  EXPECT_THROW(PC_ASSERT(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesConditionAndLocation) {
+  try {
+    PC_EXPECTS(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(Math, SafeLnMatchesStdLog) {
+  EXPECT_DOUBLE_EQ(safe_ln(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_ln(std::exp(1.0)), 1.0);
+  EXPECT_THROW(safe_ln(0.0), ContractViolation);
+  EXPECT_THROW(safe_ln(-1.0), ContractViolation);
+}
+
+TEST(Math, LnLnFlooredAtOne) {
+  // ln ln of anything with ln(n) <= e floors to 1.
+  EXPECT_DOUBLE_EQ(ln_ln(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(ln_ln(10.0), 1.0);
+  // For large n it is the true ln ln n.
+  const double n = 1e9;
+  EXPECT_NEAR(ln_ln(n), std::log(std::log(n)), 1e-12);
+  EXPECT_THROW(ln_ln(1.0), ContractViolation);
+}
+
+TEST(Math, LnLnMonotoneForLargeN) {
+  double prev = 0.0;
+  for (double n = 100.0; n < 1e12; n *= 10.0) {
+    const double v = ln_ln(n);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 1), 1u);
+  EXPECT_THROW(ceil_div(1, 0), ContractViolation);
+}
+
+TEST(Math, CeilAtLeast) {
+  EXPECT_EQ(ceil_at_least(0.0), 1u);
+  EXPECT_EQ(ceil_at_least(0.2), 1u);
+  EXPECT_EQ(ceil_at_least(1.0), 1u);
+  EXPECT_EQ(ceil_at_least(1.2), 2u);
+  EXPECT_EQ(ceil_at_least(5.0, 10), 10u);
+  EXPECT_THROW(ceil_at_least(-1.0), ContractViolation);
+}
+
+TEST(Math, MedianOddCount) {
+  std::vector<int> v{5, 1, 4, 2, 3};
+  EXPECT_EQ(median_inplace(std::span<int>(v)), 3);
+}
+
+TEST(Math, MedianEvenCountReturnsLowerMiddle) {
+  std::vector<int> v{4, 1, 3, 2};
+  EXPECT_EQ(median_inplace(std::span<int>(v)), 2);
+}
+
+TEST(Math, MedianSingleton) {
+  std::vector<int> v{42};
+  EXPECT_EQ(median_inplace(std::span<int>(v)), 42);
+}
+
+TEST(Math, MedianEmptyThrows) {
+  std::vector<int> v;
+  EXPECT_THROW(median_inplace(std::span<int>(v)), ContractViolation);
+}
+
+TEST(Math, MedianCopyDoesNotMutate) {
+  const std::vector<int> v{3, 1, 2};
+  const std::vector<int> original = v;
+  EXPECT_EQ(median_copy(std::span<const int>(v)), 2);
+  EXPECT_EQ(v, original);
+}
+
+TEST(Math, MedianNegativeOffsets) {
+  std::vector<std::int32_t> v{-5, 3, -1, 0, 2};
+  EXPECT_EQ(median_inplace(std::span<std::int32_t>(v)), 0);
+}
+
+TEST(Math, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-9, 1e-6));
+  EXPECT_FALSE(approx_equal(1.0, 1.1, 1e-6));
+}
+
+}  // namespace
+}  // namespace plurality

@@ -1,0 +1,141 @@
+// Tests for the Pólya urn substrate, including the martingale property
+// the paper's §3.1 Bit-Propagation analysis rests on — checked on the
+// abstract urn AND against the protocol's realized bit dynamics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/one_extra_bit.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "rng/seed.hpp"
+#include "stats/welford.hpp"
+#include "support/assert.hpp"
+#include "urn/polya.hpp"
+
+namespace plurality {
+namespace {
+
+TEST(PolyaUrn, StepAddsReinforcement) {
+  PolyaUrn urn({3, 7}, 2);
+  Xoshiro256 rng(1);
+  const std::size_t drawn = urn.step(rng);
+  EXPECT_LT(drawn, 2u);
+  EXPECT_EQ(urn.total(), 12u);
+  EXPECT_EQ(urn.count(drawn), (drawn == 0 ? 5u : 9u));
+}
+
+TEST(PolyaUrn, FractionsSumToOne) {
+  PolyaUrn urn({1, 2, 3}, 1);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) urn.step(rng);
+  double total = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) total += urn.fraction(c);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(urn.total(), 106u);
+}
+
+TEST(PolyaUrn, FractionIsAMartingale) {
+  // E[fraction after T steps] == initial fraction. 400 independent urns,
+  // initial fraction 0.25; sample mean sd ~ 0.28/20 = 0.014 -> 5 sigma.
+  const SeedSequence seeds(42);
+  Welford final_fraction;
+  for (std::uint64_t rep = 0; rep < 400; ++rep) {
+    Xoshiro256 rng = seeds.make_rng(rep);
+    PolyaUrn urn({5, 15}, 1);
+    for (int t = 0; t < 200; ++t) urn.step(rng);
+    final_fraction.add(urn.fraction(0));
+  }
+  EXPECT_NEAR(final_fraction.mean(), 0.25, 0.07);
+  // And unlike a concentrating process, the Pólya limit is random:
+  // variance stays macroscopic.
+  EXPECT_GT(final_fraction.stddev(), 0.05);
+}
+
+TEST(PolyaUrn, DominantColorUsuallyStaysDominant) {
+  const SeedSequence seeds(43);
+  int stayed = 0;
+  constexpr int kReps = 100;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Xoshiro256 rng = seeds.make_rng(static_cast<std::uint64_t>(rep));
+    PolyaUrn urn({30, 10}, 1);
+    for (int t = 0; t < 300; ++t) urn.step(rng);
+    stayed += (urn.fraction(0) > 0.5);
+  }
+  EXPECT_GT(stayed, 75);  // Beta(30,10) puts ~97% mass above 1/2
+}
+
+TEST(PolyaUrn, Contracts) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(PolyaUrn({}, 1), ContractViolation);
+  EXPECT_THROW(PolyaUrn({0, 0}, 1), ContractViolation);
+  EXPECT_THROW(PolyaUrn({1}, 0), ContractViolation);
+  PolyaUrn urn({1, 1}, 1);
+  EXPECT_THROW(urn.count(5), ContractViolation);
+  EXPECT_THROW(urn.fraction(5), ContractViolation);
+}
+
+TEST(GeneralizedUrn, IdentityMatrixMatchesPolya) {
+  // With R = I the generalized urn is the classic urn: same seed, same
+  // trajectory.
+  Xoshiro256 rng_a(4);
+  Xoshiro256 rng_b(4);
+  PolyaUrn classic({2, 5, 3}, 1);
+  GeneralizedUrn general({2, 5, 3}, {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  for (int t = 0; t < 500; ++t) {
+    EXPECT_EQ(classic.step(rng_a), general.step(rng_b));
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(classic.count(c), general.count(c));
+  }
+}
+
+TEST(GeneralizedUrn, FriedmanUrnDriftsTowardBalance) {
+  // Friedman urn (add to the *other* color) pushes fractions to 1/2
+  // regardless of the start — the opposite of Pólya stickiness.
+  const SeedSequence seeds(44);
+  Welford final_fraction;
+  for (std::uint64_t rep = 0; rep < 50; ++rep) {
+    Xoshiro256 rng = seeds.make_rng(rep);
+    GeneralizedUrn urn({40, 10}, {{0, 1}, {1, 0}});
+    for (int t = 0; t < 2000; ++t) urn.step(rng);
+    final_fraction.add(urn.fraction(0));
+  }
+  EXPECT_NEAR(final_fraction.mean(), 0.5, 0.03);
+  EXPECT_LT(final_fraction.stddev(), 0.05);
+}
+
+TEST(GeneralizedUrn, RejectsShapeMismatch) {
+  EXPECT_THROW(GeneralizedUrn({1, 1}, {{1, 0}}), ContractViolation);
+  EXPECT_THROW(GeneralizedUrn({1, 1}, {{1}, {1}}), ContractViolation);
+}
+
+TEST(BitPropagationAsUrn, ColorFractionsAmongBitSettersPreserved) {
+  // The paper's claim: Bit-Propagation grows the bit-set population
+  // without (materially) changing its color mix. Measure C1's fraction
+  // among bit-set nodes right after the two-choices round vs at the end
+  // of the phase; the mean drift over repetitions must be small.
+  const std::uint64_t n = 1 << 14;
+  const CompleteGraph g(n);
+  const SeedSequence seeds(45);
+  Welford drift;
+  for (std::uint64_t rep = 0; rep < 5; ++rep) {
+    Xoshiro256 rng = seeds.make_rng(rep);
+    OneExtraBitSync proto(g, assign_two_colors(n, (n * 3) / 5, rng));
+    proto.execute_round(rng);  // two-choices: bits seeded ~ cj^2/n
+    // Expected fraction of C1 among bit setters: c1^2/(c1^2+c2^2).
+    const double before = 0.36 / (0.36 + 0.16);
+    for (std::uint64_t r = 0; r < proto.bp_rounds_per_phase(); ++r) {
+      proto.execute_round(rng);
+    }
+    const double after =
+        static_cast<double>(proto.table().support(0)) /
+        static_cast<double>(n);
+    drift.add(after - before);
+  }
+  EXPECT_NEAR(drift.mean(), 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace plurality
