@@ -1,11 +1,12 @@
 #pragma once
 
 /// \file bench_common.hpp
-/// Shared scaffolding for the experiment binaries in bench/. Every
-/// binary accepts --seed=, --reps=, --threads=, --csv plus its own
-/// sweep overrides, prints the paper claim it regenerates, and renders
-/// its tables via experiment/table.hpp so EXPERIMENTS.md rows can be
-/// reproduced with a single command.
+/// Shared scaffolding for the registered experiments in bench/. Every
+/// experiment body receives an ExperimentContext (shared --seed=,
+/// --reps=, --threads=, --csv handling plus its own sweep overrides),
+/// prints the paper claim it regenerates, renders its tables via
+/// experiment/table.hpp, and records its headline series through
+/// ctx.record() so each run also emits a structured JSON record.
 
 #include <cstdint>
 #include <cstdio>
@@ -13,6 +14,7 @@
 #include <string>
 
 #include "experiment/args.hpp"
+#include "experiment/registry.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/table.hpp"
 #include "rng/seed.hpp"
@@ -21,27 +23,8 @@
 
 namespace plurality::bench {
 
-struct Context {
-  Args args;
-  std::uint64_t master_seed;
-  std::uint64_t reps;
-  unsigned threads;
-  bool csv;
-
-  Context(int argc, char** argv, std::uint64_t default_reps)
-      : args(argc, argv),
-        master_seed(args.get_u64("seed", 42)),
-        reps(args.get_u64("reps", default_reps)),
-        threads(static_cast<unsigned>(args.get_u64("threads", 0))),
-        csv(args.csv()) {}
-
-  SeedSequence seeds_for(std::uint64_t sweep_point) const {
-    return SeedSequence(master_seed).child(sweep_point);
-  }
-};
-
 /// Prints the experiment banner: id, paper claim, reproduce command.
-inline void banner(const Context& ctx, const std::string& id,
+inline void banner(const ExperimentContext& ctx, const std::string& id,
                    const std::string& claim) {
   if (ctx.csv) return;
   std::cout << "--------------------------------------------------------\n"
@@ -52,7 +35,7 @@ inline void banner(const Context& ctx, const std::string& id,
 }
 
 /// Prints a fitted growth law under a table.
-inline void report_fit(const Context& ctx, const std::string& label,
+inline void report_fit(const ExperimentContext& ctx, const std::string& label,
                        const LinearFit& fit) {
   if (ctx.csv) return;
   std::printf("%s: slope=%.3f intercept=%.3f R^2=%.4f\n", label.c_str(),

@@ -13,8 +13,9 @@
 
 using namespace plurality;
 
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/60);
+namespace {
+
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "E3 (bias threshold)",
                 "bias O(sqrt n) -> minority wins with constant "
                 "probability; bias z*sqrt(n log n) -> plurality wins whp");
@@ -44,6 +45,9 @@ int main(int argc, char** argv) {
                 static_cast<double>(result.rounds)};
           },
           ctx.threads);
+      ctx.record("c1_win_rate",
+                 {{"n", n}, {"k", k}, {"beta", beta}, {"bias", bias}},
+                 slots[0]);
       const Summary wins = summarize(slots[0]);
       const Summary rounds = summarize(slots[1]);
       table.row()
@@ -60,3 +64,11 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "bias_threshold",
+    "E3 (S1.1): bias O(sqrt n) lets a minority win with constant "
+    "probability; bias z*sqrt(n log n) makes the plurality win whp",
+    /*default_reps=*/60, run_exp};
+
+}  // namespace

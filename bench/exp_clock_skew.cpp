@@ -12,8 +12,9 @@
 
 using namespace plurality;
 
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/5);
+namespace {
+
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "B1 (clock skew robustness)",
                 "the async protocol should tolerate moderate clock-rate "
                 "heterogeneity (§4's general-setting conjecture); strong "
@@ -47,6 +48,10 @@ int main(int argc, char** argv) {
               result.consensus ? 1.0 : 0.0};
         },
         ctx.threads);
+    ctx.record("time_under_skew", {{"n", n}, {"k", k}, {"profile", name.c_str()}},
+               slots[0]);
+    ctx.record("win_under_skew", {{"n", n}, {"k", k}, {"profile", name.c_str()}},
+               slots[1]);
     const Summary time = summarize(slots[0]);
     table.row()
         .cell(name)
@@ -82,3 +87,11 @@ int main(int argc, char** argv) {
   table.print(std::cout, ctx.csv);
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "clock_skew",
+    "B1 (robustness): async OneExtraBit under log-normal and two-speed "
+    "clock-rate heterogeneity; strong skew degrades weak synchronicity",
+    /*default_reps=*/5, run_exp};
+
+}  // namespace

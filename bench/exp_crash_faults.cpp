@@ -16,8 +16,9 @@
 
 using namespace plurality;
 
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/5);
+namespace {
+
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "B2 (crash faults)",
                 "survivors should still agree (live agreement ~ 1) for "
                 "moderate crash fractions; crashed nodes pin stale "
@@ -62,6 +63,12 @@ int main(int argc, char** argv) {
                                        result.consensus ? 1.0 : 0.0};
           },
           ctx.threads);
+      ctx.record("live_agreement",
+                 {{"n", n},
+                  {"crash_frac", fraction},
+                  {"protocol",
+                   phased ? "async_oneextrabit" : "async_two_choices"}},
+                 slots[0]);
       const Summary agree = summarize(slots[0]);
       table.row()
           .cell(fraction, 2)
@@ -74,3 +81,11 @@ int main(int argc, char** argv) {
   table.print(std::cout, ctx.csv);
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "crash_faults",
+    "B2 (robustness): live agreement among survivors under crash-stop "
+    "faults, async Two-Choices vs the phased protocol",
+    /*default_reps=*/5, run_exp};
+
+}  // namespace

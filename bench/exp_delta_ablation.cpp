@@ -12,8 +12,9 @@
 
 using namespace plurality;
 
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/8);
+namespace {
+
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "A1 (Delta ablation)",
                 "block length Delta trades run time against "
                 "synchronization quality: win rate degrades when blocks "
@@ -59,6 +60,10 @@ int main(int argc, char** argv) {
               max_poor};
         },
         ctx.threads);
+    ctx.record("time_vs_delta_mult", {{"n", n}, {"k", k}, {"delta_mult", mult}},
+               slots[0]);
+    ctx.record("win_vs_delta_mult", {{"n", n}, {"k", k}, {"delta_mult", mult}},
+               slots[1]);
     const Summary time = summarize(slots[0]);
     table.row()
         .cell(mult, 2)
@@ -72,3 +77,11 @@ int main(int argc, char** argv) {
   table.print(std::cout, ctx.csv);
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "delta_ablation",
+    "A1 (ablation): sweep the do-nothing block length Delta — too small "
+    "breaks weak synchronicity, too large wastes schedule budget",
+    /*default_reps=*/8, run_exp};
+
+}  // namespace

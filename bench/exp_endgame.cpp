@@ -13,8 +13,9 @@
 
 using namespace plurality;
 
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/20);
+namespace {
+
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "E8 (endgame, §3.2)",
                 "from c1 >= (1-eps)n, async Two-Choices finishes in "
                 "O(log n) time and C1 always wins");
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
               (result.consensus && result.winner == 0) ? 1.0 : 0.0};
         },
         ctx.threads);
+    ctx.record("endgame_time_vs_n", {{"n", n}, {"eps", eps_fixed}}, slots[0]);
     const Summary time = summarize(slots[0]);
     const Summary wins = summarize(slots[1]);
     by_n.row()
@@ -76,6 +78,7 @@ int main(int argc, char** argv) {
               (result.consensus && result.winner == 0) ? 1.0 : 0.0};
         },
         ctx.threads);
+    ctx.record("endgame_time_vs_eps", {{"n", n}, {"eps", eps}}, slots[0]);
     const Summary time = summarize(slots[0]);
     const Summary wins = summarize(slots[1]);
     by_eps.row()
@@ -88,3 +91,11 @@ int main(int argc, char** argv) {
   by_eps.print(std::cout, ctx.csv);
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "endgame",
+    "E8 (S3.2): from support (1-eps)n, plain async Two-Choices finishes "
+    "consensus within O(log n) time and C1 always wins",
+    /*default_reps=*/20, run_exp};
+
+}  // namespace

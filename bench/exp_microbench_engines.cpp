@@ -1,0 +1,126 @@
+// M1b — microbenchmarks: engine and protocol throughput, reported as
+// ns per tick (async protocols), ns per node-update (sync rounds), and
+// the cost of the continuous-time event-queue machinery. Hand-rolled
+// timing (steady_clock, one sample per repetition) on the shared
+// registry/JSON harness.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "core/async_one_extra_bit.hpp"
+#include "core/two_choices.hpp"
+#include "core/voter.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/continuous_engine.hpp"
+#include "sim/sequential_engine.hpp"
+
+using namespace plurality;
+
+namespace {
+
+volatile std::uint64_t g_sink;
+
+/// ns per tick of `proto.on_tick` on uniform nodes over `ticks` ticks.
+template <typename Proto>
+double time_ticks(Proto& proto, Xoshiro256& rng, std::uint64_t n,
+                  std::uint64_t ticks) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ticks; ++i) {
+    proto.on_tick(static_cast<NodeId>(uniform_below(rng, n)), rng);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  g_sink = proto.table().support(0);
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(ticks);
+}
+
+int run_exp(ExperimentContext& ctx) {
+  bench::banner(ctx, "M1b (engine microbench)",
+                "per-tick protocol cost and event-queue overhead bound "
+                "every experiment's wall-clock time");
+
+  const std::uint64_t n = ctx.args.get_u64("n", 1ull << 16);
+  const std::uint64_t ticks = ctx.args.get_u64("iters", 1ull << 20);
+  const CompleteGraph g(n);
+
+  Table table("M1b: engine / protocol throughput  (n=" + std::to_string(n) +
+                  ", " + std::to_string(ticks) + " ticks per rep)",
+              {"op", "ns_op", "ci95", "ops_per_sec"});
+
+  const auto report = [&](const std::string& name,
+                          const std::vector<double>& samples) {
+    ctx.record("ns_per_op", {{"op", name.c_str()}, {"n", n}}, samples);
+    const Summary s = summarize(samples);
+    table.row()
+        .cell(name)
+        .cell(s.mean, 2)
+        .cell(s.ci95_halfwidth, 2)
+        .cell(1e9 / s.mean, 0);
+  };
+
+  const auto per_rep = [&](auto body) {
+    std::vector<double> samples;
+    samples.reserve(ctx.reps);
+    for (std::uint64_t rep = 0; rep < ctx.reps; ++rep) {
+      Xoshiro256 rng(SeedSequence(ctx.master_seed).stream(rep));
+      samples.push_back(body(rng));
+    }
+    return samples;
+  };
+
+  report("voter_tick", per_rep([&](Xoshiro256& rng) {
+           VoterAsync proto(g, assign_equal(n, 64, rng));
+           return time_ticks(proto, rng, n, ticks);
+         }));
+  report("two_choices_tick", per_rep([&](Xoshiro256& rng) {
+           TwoChoicesAsync proto(g, assign_equal(n, 64, rng));
+           return time_ticks(proto, rng, n, ticks);
+         }));
+  report("async_oeb_tick", per_rep([&](Xoshiro256& rng) {
+           auto proto = AsyncOneExtraBit<CompleteGraph>::make(
+               g, assign_equal(n, 64, rng));
+           return time_ticks(proto, rng, n, ticks);
+         }));
+  report("sync_two_choices_node_update", per_rep([&](Xoshiro256& rng) {
+           TwoChoicesSync proto(g, assign_equal(n, 64, rng));
+           const std::uint64_t rounds = std::max<std::uint64_t>(ticks / n, 1);
+           const auto start = std::chrono::steady_clock::now();
+           for (std::uint64_t r = 0; r < rounds; ++r) {
+             proto.execute_round(rng);
+           }
+           const auto stop = std::chrono::steady_clock::now();
+           g_sink = proto.table().support(0);
+           return std::chrono::duration<double, std::nano>(stop - start)
+                      .count() /
+                  static_cast<double>(rounds * n);
+         }));
+  report("continuous_engine_tick", per_rep([&](Xoshiro256& rng) {
+           // Cost of the event-queue machinery itself: heap pops/pushes
+           // plus exponential draws, amortized per tick of the cheapest
+           // protocol.
+           const double horizon =
+               static_cast<double>(ticks) / static_cast<double>(n);
+           VoterAsync proto(g, assign_equal(n, 2, rng));
+           const auto start = std::chrono::steady_clock::now();
+           const auto result = run_continuous(proto, rng, horizon);
+           const auto stop = std::chrono::steady_clock::now();
+           g_sink = result.consensus ? 1 : 0;
+           const double simulated_ticks =
+               result.time * static_cast<double>(n);
+           return std::chrono::duration<double, std::nano>(stop - start)
+                      .count() /
+                  std::max(simulated_ticks, 1.0);
+         }));
+
+  table.print(std::cout, ctx.csv);
+  return 0;
+}
+
+const ExperimentRegistrar kRegistrar{
+    "microbench_engines",
+    "M1b: protocol tick and engine event-loop throughput (ns per tick / "
+    "node-update)",
+    /*default_reps=*/5, run_exp};
+
+}  // namespace

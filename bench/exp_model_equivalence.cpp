@@ -17,7 +17,7 @@ using namespace plurality;
 namespace {
 
 template <typename MakeProto>
-void compare_models(const bench::Context& ctx, Table& table,
+void compare_models(ExperimentContext& ctx, Table& table,
                     const std::string& name, std::uint64_t sweep_point,
                     MakeProto&& make_proto) {
   const auto seeds_seq = ctx.seeds_for(sweep_point * 2);
@@ -36,6 +36,8 @@ void compare_models(const bench::Context& ctx, Table& table,
         return run_continuous(proto, rng, 1e6).time;
       },
       ctx.threads);
+  ctx.record("sequential_time", {{"protocol", name.c_str()}}, seq);
+  ctx.record("continuous_time", {{"protocol", name.c_str()}}, cont);
   const Summary s = summarize(seq);
   const Summary c = summarize(cont);
   table.row()
@@ -49,10 +51,7 @@ void compare_models(const bench::Context& ctx, Table& table,
       .cell(s.mean / c.mean, 3);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/30);
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "E9 (model equivalence, ref [4])",
                 "sequential and continuous-time asynchronous models give "
                 "the same run time (ratio ~ 1)");
@@ -88,3 +87,11 @@ int main(int argc, char** argv) {
   table.print(std::cout, ctx.csv);
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "model_equivalence",
+    "E9 (ref [4]): the sequential uniform-node model and the continuous "
+    "Poisson-clock model give the same consensus time (ratio ~ 1)",
+    /*default_reps=*/30, run_exp};
+
+}  // namespace

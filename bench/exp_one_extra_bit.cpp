@@ -15,8 +15,9 @@
 
 using namespace plurality;
 
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/8);
+namespace {
+
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "E4 (Theorem 1.2)",
                 "OneExtraBit runs in polylog rounds (near-flat in k); "
                 "Two-Choices grows ~linearly in k on the same workloads");
@@ -54,6 +55,10 @@ int main(int argc, char** argv) {
               (tc_result.consensus && tc_result.winner == 0) ? 1.0 : 0.0};
         },
         ctx.threads);
+    ctx.record("oeb_rounds_vs_k", {{"n", n}, {"k", k}, {"bias", bias}},
+               slots[0]);
+    ctx.record("tc_rounds_vs_k", {{"n", n}, {"k", k}, {"bias", bias}},
+               slots[2]);
     const Summary oeb_rounds = summarize(slots[0]);
     const Summary oeb_wins = summarize(slots[1]);
     const Summary tc_rounds = summarize(slots[2]);
@@ -95,6 +100,8 @@ int main(int argc, char** argv) {
               (result.consensus && result.winner == 0) ? 1.0 : 0.0};
         },
         ctx.threads);
+    ctx.record("oeb_rounds_vs_n", {{"n", nn}, {"k", k_fixed}, {"bias", bias}},
+               slots[0]);
     const Summary rounds = summarize(slots[0]);
     const Summary wins = summarize(slots[1]);
     const double dn = static_cast<double>(nn);
@@ -115,3 +122,11 @@ int main(int argc, char** argv) {
                     fit_power_law(xs, ys));
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "one_extra_bit",
+    "E4 (Theorem 1.2): sync OneExtraBit converges in polylog rounds, "
+    "near-flat in k, while Two-Choices grows ~linearly in k",
+    /*default_reps=*/8, run_exp};
+
+}  // namespace

@@ -12,8 +12,9 @@
 
 using namespace plurality;
 
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/10);
+namespace {
+
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "E5 (quadratic amplification)",
                 "after one phase, c1'/cj' ~ (c1/cj)^2");
 
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
           return static_cast<double>(s1) / static_cast<double>(s2);
         },
         ctx.threads);
+    ctx.record("amplified_ratio", {{"n", n}, {"initial_ratio", r}}, measured);
     const Summary m = summarize(measured);
     const double predicted = r * r;
     table.row()
@@ -60,3 +62,11 @@ int main(int argc, char** argv) {
   table.print(std::cout, ctx.csv);
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "quadratic_growth",
+    "E5 (S2): one OneExtraBit phase amplifies the support ratio "
+    "quadratically, c1'/c2' ~ (c1/c2)^2",
+    /*default_reps=*/10, run_exp};
+
+}  // namespace

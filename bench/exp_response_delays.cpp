@@ -13,8 +13,9 @@
 
 using namespace plurality;
 
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/5);
+namespace {
+
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "E10 (response delays, §4)",
                 "constant-mean exponential response delays preserve the "
                 "Theta(log n) run time; only huge delays (>> block "
@@ -44,6 +45,8 @@ int main(int argc, char** argv) {
               result.consensus ? 1.0 : 0.0};
         },
         ctx.threads);
+    ctx.record("time_vs_delay", {{"n", n}, {"k", k}, {"mean_delay", 0.0}},
+               slots[0]);
     const Summary time = summarize(slots[0]);
     table.row()
         .cell("0 (instant)")
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
               result.consensus ? 1.0 : 0.0};
         },
         ctx.threads);
+    ctx.record("time_vs_delay",
+               {{"n", n}, {"k", k}, {"mean_delay", 1.0 / rate}}, slots[0]);
     const Summary time = summarize(slots[0]);
     char label[32];
     std::snprintf(label, sizeof label, "%.2f", 1.0 / rate);
@@ -82,3 +87,11 @@ int main(int argc, char** argv) {
   table.print(std::cout, ctx.csv);
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "response_delays",
+    "E10 (S4): exponential response delays with constant mean preserve "
+    "the Theta(log n) run time of the async protocol",
+    /*default_reps=*/5, run_exp};
+
+}  // namespace

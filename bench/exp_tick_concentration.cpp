@@ -49,10 +49,7 @@ class ClockEnsemble {
   std::vector<std::uint64_t> ticks_;
 };
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/5);
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "E11 (tick concentration)",
                 "after time t, node tick counts deviate from t by "
                 "O(sqrt(t log n) + log n); hence no algorithm beats "
@@ -82,6 +79,7 @@ int main(int argc, char** argv) {
                                      static_cast<double>(hi)};
         },
         ctx.threads);
+    ctx.record("max_tick_deviation", {{"n", n}, {"t", horizon}}, slots[0]);
     const Summary dev = summarize(slots[0]);
     const double ln_n = std::log(static_cast<double>(n));
     const double envelope = std::sqrt(2.0 * horizon * ln_n) + ln_n;
@@ -102,3 +100,11 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "tick_concentration",
+    "E11 (S3): under Poisson clocks, node tick counts deviate from t by "
+    "O(sqrt(t log n) + log n) — the fact behind the Delta sizing",
+    /*default_reps=*/5, run_exp};
+
+}  // namespace

@@ -22,7 +22,7 @@ using namespace plurality;
 namespace {
 
 template <typename G>
-void measure(const bench::Context& ctx, Table& table,
+void measure(ExperimentContext& ctx, Table& table,
              const std::string& name, const G& g, std::uint64_t n,
              double horizon, std::uint64_t sweep_point) {
   const std::uint64_t c1 = (n * 3) / 4;
@@ -39,6 +39,8 @@ void measure(const bench::Context& ctx, Table& table,
             voter_result.time, voter_result.consensus ? 1.0 : 0.0};
       },
       ctx.threads);
+  ctx.record("tc_time", {{"n", n}, {"topology", name.c_str()}}, slots[0]);
+  ctx.record("voter_time", {{"n", n}, {"topology", name.c_str()}}, slots[2]);
   table.row()
       .cell(name)
       .cell(summarize(slots[0]).mean, 1)
@@ -47,10 +49,7 @@ void measure(const bench::Context& ctx, Table& table,
       .cell(summarize(slots[3]).mean, 2);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/5);
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "A2 (topology extension)",
                 "expander-like graphs track the clique's consensus time; "
                 "ring/torus are drastically slower (censored at horizon)");
@@ -88,3 +87,11 @@ int main(int argc, char** argv) {
   table.print(std::cout, ctx.csv);
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "topologies",
+    "A2 (extension): async Two-Choices and Voter on clique, Erdos-Renyi, "
+    "random-regular, torus, and ring — expanders track the clique",
+    /*default_reps=*/5, run_exp};
+
+}  // namespace

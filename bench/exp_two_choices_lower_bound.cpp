@@ -14,8 +14,9 @@
 
 using namespace plurality;
 
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/10);
+namespace {
+
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "E2 (Theorem 1.1 lower)",
                 "with c2=...=ck, Two-Choices requires Omega(n/c1) = "
                 "Omega(k) rounds; rounds should grow ~linearly in k");
@@ -54,6 +55,8 @@ int main(int argc, char** argv) {
         },
         ctx.threads);
 
+    ctx.record("rounds_theorem_bias",
+               {{"n", n}, {"k", k}, {"c1", realized_c1}}, slots[0]);
     const Summary rounds = summarize(slots[0]);
     const Summary wins = summarize(slots[1]);
     theorem.row()
@@ -98,6 +101,8 @@ int main(int argc, char** argv) {
               (result.consensus && result.winner == 0) ? 1.0 : 0.0};
         },
         ctx.threads);
+    ctx.record("rounds_neartie_bias",
+               {{"n", n}, {"k", k}, {"c1", realized_c1}}, slots[0]);
     const Summary rounds = summarize(slots[0]);
     neartie.row()
         .cell(k)
@@ -113,3 +118,11 @@ int main(int argc, char** argv) {
                     fit_power_law(ks, rounds_by_k));
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "two_choices_lower_bound",
+    "E2 (Theorem 1.1 lower): with c2=...=ck tied, sync Two-Choices needs "
+    "Omega(n/c1 + log n) rounds — ~linear in k",
+    /*default_reps=*/10, run_exp};
+
+}  // namespace

@@ -13,8 +13,9 @@
 
 using namespace plurality;
 
-int main(int argc, char** argv) {
-  bench::Context ctx(argc, argv, /*default_reps=*/10);
+namespace {
+
+int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "E1 (Theorem 1.1 upper, k=2)",
                 "Two-Choices converges within O(n/c1 * log n) rounds given "
                 "bias >= z*sqrt(n log n); with k=2 that is O(log n)");
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
         },
         ctx.threads);
 
+    ctx.record("rounds_vs_n", {{"n", n}, {"bias", bias}}, slots[0]);
     const Summary rounds = summarize(slots[0]);
     const Summary wins = summarize(slots[1]);
     table.row()
@@ -65,3 +67,11 @@ int main(int argc, char** argv) {
   bench::report_fit(ctx, "rounds = a + b*ln(n) fit", fit_log_x(xs, ys));
   return 0;
 }
+
+const ExperimentRegistrar kRegistrar{
+    "two_choices_scaling",
+    "E1 (Theorem 1.1 upper): sync Two-Choices with k=2 and bias "
+    "sqrt(n ln n) converges in O(log n) rounds",
+    /*default_reps=*/10, run_exp};
+
+}  // namespace

@@ -55,12 +55,13 @@ class AsyncOneExtraBit {
   AsyncOneExtraBit(const G& graph, Assignment assignment,
                    AsyncSchedule schedule)
       : graph_(&graph),
-        schedule_(schedule),
+        schedule_(std::move(schedule)),
         table_(std::move(assignment.colors), assignment.num_colors),
         gadget_(table_.num_nodes(),
                 static_cast<std::uint32_t>(
-                    std::max<std::uint64_t>(schedule.sync_ticks(), 1))) {
+                    std::max<std::uint64_t>(schedule_.sync_ticks(), 1))) {
     PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
+    PC_EXPECTS(table_.num_nodes() > 0);
     const std::uint64_t n = table_.num_nodes();
     working_time_.assign(n, 0);
     real_ticks_.assign(n, 0);
@@ -176,8 +177,9 @@ class AsyncOneExtraBit {
 
   // --- diagnostics for experiments E7 / E11 and tests ------------------
 
-  /// max - min of node working times (O(n)).
+  /// max - min of node working times (O(n)); 0 for an empty population.
   std::uint64_t working_time_spread() const noexcept {
+    if (working_time_.empty()) return 0;
     std::uint64_t lo = working_time_[0];
     std::uint64_t hi = working_time_[0];
     for (const auto wt : working_time_) {
@@ -187,8 +189,10 @@ class AsyncOneExtraBit {
     return hi - lo;
   }
 
-  /// Median node working time (O(n)).
+  /// Median node working time (O(n)). Requires a non-empty population
+  /// (guaranteed by the constructor).
   std::uint64_t median_working_time() const {
+    PC_EXPECTS(!working_time_.empty());
     std::vector<std::uint64_t> copy = working_time_;
     return median_inplace(std::span<std::uint64_t>(copy));
   }

@@ -19,6 +19,10 @@ class Args {
   /// ContractViolation (catching typos in reproduce commands).
   Args(int argc, const char* const* argv);
 
+  /// Numeric getters return `fallback` when the key is absent and throw
+  /// ContractViolation (naming the flag and the offending text) when the
+  /// value is present but malformed — "--reps=abc" must never silently
+  /// become 0.
   std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   std::string get_string(const std::string& key,
@@ -27,6 +31,12 @@ class Args {
 
   /// True when --csv was passed (tables print comma-separated).
   bool csv() const { return has_flag("csv"); }
+
+  /// All parsed key/value pairs (flags map to ""), for echoing the full
+  /// command line into experiment records.
+  const std::map<std::string, std::string>& raw() const noexcept {
+    return values_;
+  }
 
  private:
   std::map<std::string, std::string> values_;

@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file json_writer.hpp
+/// Minimal JSON document type for the experiment harness. Every
+/// experiment run emits one machine-readable record (params, per-rep
+/// samples, aggregate statistics, wall clock) so BENCH_*.json
+/// trajectories can be diffed across PRs. The type is deliberately
+/// small: build, dump, and parse — enough to write records and to
+/// validate them in tests, with zero external dependencies.
+///
+/// Numbers preserve integerness: a value built from (or parsed as) an
+/// integer prints without a decimal point, and 64-bit seeds round-trip
+/// exactly instead of being squeezed through a double.
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace plurality {
+
+/// Thrown by JsonValue::parse on malformed input.
+class JsonParseError : public std::runtime_error {
+ public:
+  explicit JsonParseError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     ///< signed 64-bit integer
+    kUint,    ///< unsigned 64-bit integer (only when it exceeds int64)
+    kDouble,
+    kString,
+    kArray,
+    kObject
+  };
+
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered key/value pairs (records stay human-diffable).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() noexcept : type_(Type::kNull) {}
+  JsonValue(bool b) noexcept : type_(Type::kBool), bool_(b) {}
+  JsonValue(double d) noexcept : type_(Type::kDouble), double_(d) {}
+  JsonValue(int v) noexcept : type_(Type::kInt), int_(v) {}
+  JsonValue(long v) noexcept : type_(Type::kInt), int_(v) {}
+  JsonValue(long long v) noexcept : type_(Type::kInt), int_(v) {}
+  JsonValue(unsigned v) noexcept : type_(Type::kInt), int_(v) {}
+  JsonValue(unsigned long v) noexcept { assign_unsigned(v); }
+  JsonValue(unsigned long long v) noexcept { assign_unsigned(v); }
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Numeric value as double (requires is_number()).
+  double as_double() const;
+  /// Numeric value as u64 (requires a non-negative integer value).
+  std::uint64_t as_u64() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+
+  /// Element count of an array or object; 0 for scalars.
+  std::size_t size() const noexcept;
+
+  /// Array element access (requires is_array() and i < size()).
+  const JsonValue& at(std::size_t i) const;
+
+  /// Object member lookup; nullptr when absent (requires is_object()).
+  const JsonValue* find(std::string_view key) const;
+  /// True when the object has `key`.
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Appends to an array (converts a null value into an array first).
+  void push_back(JsonValue v);
+
+  /// Object member insert-or-get (converts a null value into an object
+  /// first).
+  JsonValue& operator[](std::string_view key);
+
+  /// Serializes the document. `indent` < 0 renders compact single-line
+  /// JSON; otherwise nested levels indent by `indent` spaces.
+  std::string dump(int indent = 2) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  /// Throws JsonParseError with position information on malformed input.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  void assign_unsigned(unsigned long long v) noexcept {
+    if (v <= static_cast<unsigned long long>(INT64_MAX)) {
+      type_ = Type::kInt;
+      int_ = static_cast<std::int64_t>(v);
+    } else {
+      type_ = Type::kUint;
+      uint_ = v;
+    }
+  }
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Writes `value` (pretty-printed, trailing newline) to `path`,
+/// overwriting. Throws std::runtime_error when the file cannot be
+/// written.
+void write_json_file(const std::string& path, const JsonValue& value);
+
+}  // namespace plurality

@@ -1,0 +1,137 @@
+#include "experiment/registry.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+
+#include "stats/welford.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+namespace {
+
+/// Harness plumbing flags that select/route experiments but do not
+/// parameterize the measurement; echoing them into the record would
+/// make otherwise-identical trajectories diff on invocation details.
+bool is_plumbing_key(const std::string& key) {
+  return key == "exp" || key == "all" || key == "list" || key == "json" ||
+         key == "out-dir" || key == "no-json" || key == "csv";
+}
+
+/// Raw CLI values are strings; type them in the record (bare flag ->
+/// true, numeric text -> number) so params diff cleanly across PRs and
+/// match the numeric sweep params inside series entries.
+JsonValue typed_param(const std::string& value) {
+  if (value.empty()) return JsonValue(true);
+  errno = 0;
+  char* end = nullptr;
+  if (value[0] != '-' && value[0] != '+') {
+    const unsigned long long u = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() + value.size() && errno != ERANGE) {
+      return JsonValue(u);
+    }
+  }
+  errno = 0;
+  const double d = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() + value.size() && errno != ERANGE) {
+    return JsonValue(d);
+  }
+  return JsonValue(value);
+}
+
+}  // namespace
+
+void ExperimentContext::record(
+    const std::string& series,
+    std::initializer_list<std::pair<const char*, JsonValue>> params,
+    std::span<const double> samples) {
+  PC_EXPECTS(!series.empty());
+  PC_EXPECTS(!samples.empty());
+  JsonValue entry = JsonValue::object();
+  entry["name"] = series;
+  JsonValue param_obj = JsonValue::object();
+  for (const auto& [key, value] : params) param_obj[key] = value;
+  entry["params"] = std::move(param_obj);
+  JsonValue sample_array = JsonValue::array();
+  Welford acc;
+  for (const double s : samples) {
+    sample_array.push_back(s);
+    acc.add(s);
+  }
+  entry["samples"] = std::move(sample_array);
+  entry["count"] = acc.count();
+  entry["mean"] = acc.mean();
+  entry["stddev"] = acc.count() >= 2 ? acc.stddev() : 0.0;
+  entry["stderr"] = acc.count() >= 2 ? acc.std_error() : 0.0;
+  entry["min"] = acc.min();
+  entry["max"] = acc.max();
+  series_.push_back(std::move(entry));
+}
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(Experiment experiment) {
+  PC_EXPECTS(!experiment.name.empty());
+  PC_EXPECTS(static_cast<bool>(experiment.run));
+  PC_EXPECTS(experiments_.count(experiment.name) == 0);
+  experiments_.emplace(experiment.name, std::move(experiment));
+}
+
+const Experiment* ExperimentRegistry::find(const std::string& name) const {
+  const auto it = experiments_.find(name);
+  return it == experiments_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::list() const {
+  std::vector<const Experiment*> out;
+  out.reserve(experiments_.size());
+  for (const auto& [name, experiment] : experiments_) {
+    out.push_back(&experiment);
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
+                                            const Args& args) const {
+  ExperimentContext ctx(args, experiment.default_reps);
+
+  const auto start = std::chrono::steady_clock::now();
+  const int exit_code = experiment.run(ctx);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  JsonValue record = JsonValue::object();
+  record["schema_version"] = 1;
+  record["experiment"] = experiment.name;
+  record["description"] = experiment.description;
+
+  JsonValue params = JsonValue::object();
+  params["seed"] = ctx.master_seed;
+  params["reps"] = ctx.reps;
+  params["threads"] = ctx.threads;
+  for (const auto& [key, value] : args.raw()) {
+    if (!params.has(key) && !is_plumbing_key(key)) {
+      params[key] = typed_param(value);
+    }
+  }
+  record["params"] = std::move(params);
+
+  record["series"] = ctx.take_series();
+  record["exit_code"] = exit_code;
+  record["wall_clock_seconds"] = wall_seconds;
+  return record;
+}
+
+ExperimentRegistrar::ExperimentRegistrar(
+    std::string name, std::string description, std::uint64_t default_reps,
+    std::function<int(ExperimentContext&)> run) {
+  ExperimentRegistry::instance().add(Experiment{
+      std::move(name), std::move(description), default_reps, std::move(run)});
+}
+
+}  // namespace plurality

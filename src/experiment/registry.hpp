@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file registry.hpp
+/// The experiment registry: every experiment in bench/ self-registers a
+/// name, a one-line description, a default repetition count, and a run
+/// entry point. One binary (`plurality_exp`) then exposes all of them
+/// behind `--exp=<name>`, `--list`, and `--all`, with shared
+/// `--seed/--reps/--threads/--csv` handling through ExperimentContext.
+///
+/// Besides the human-readable tables an experiment prints, every run
+/// produces one structured JSON record (see run_to_record): the
+/// resolved parameters, each recorded series with its raw per-rep
+/// samples and Welford mean/stderr, and the wall-clock time. Those
+/// records are the BENCH_*.json trajectory the ROADMAP tracks across
+/// PRs.
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiment/args.hpp"
+#include "experiment/json_writer.hpp"
+#include "rng/seed.hpp"
+
+namespace plurality {
+
+/// Per-run state handed to an experiment body: the parsed CLI plus the
+/// shared knobs every experiment honors, and the sink for measured
+/// series. Field names mirror the old per-binary bench::Context so the
+/// experiment bodies read unchanged.
+class ExperimentContext {
+ public:
+  ExperimentContext(Args arguments, std::uint64_t default_reps)
+      : args(std::move(arguments)),
+        master_seed(args.get_u64("seed", 42)),
+        reps(args.get_u64("reps", default_reps)),
+        threads(static_cast<unsigned>(args.get_u64("threads", 0))),
+        csv(args.csv()) {}
+
+  Args args;
+  std::uint64_t master_seed;
+  std::uint64_t reps;
+  unsigned threads;
+  bool csv;
+
+  /// Independent seed stream for one sweep point of the experiment.
+  SeedSequence seeds_for(std::uint64_t sweep_point) const {
+    return SeedSequence(master_seed).child(sweep_point);
+  }
+
+  /// Records one measured series: the per-repetition samples of one
+  /// quantity at one sweep point, tagged with the sweep parameters.
+  /// Aggregates (Welford mean/stderr, min/max) are computed here so the
+  /// JSON record carries them next to the raw samples.
+  void record(const std::string& series,
+              std::initializer_list<std::pair<const char*, JsonValue>> params,
+              std::span<const double> samples);
+
+  /// Hands the accumulated series array to the registry runner.
+  JsonValue take_series() { return std::exchange(series_, JsonValue::array()); }
+
+ private:
+  JsonValue series_ = JsonValue::array();
+};
+
+/// A registered experiment.
+struct Experiment {
+  std::string name;         ///< CLI handle, e.g. "one_extra_bit"
+  std::string description;  ///< one line: paper claim / what it measures
+  std::uint64_t default_reps = 10;
+  std::function<int(ExperimentContext&)> run;
+};
+
+class ExperimentRegistry {
+ public:
+  /// The process-wide registry (Meyers singleton: safe to use from the
+  /// static registrars in each experiment translation unit).
+  static ExperimentRegistry& instance();
+
+  /// Registers an experiment. Requires a unique, non-empty name and a
+  /// callable entry point.
+  void add(Experiment experiment);
+
+  /// Looks up an experiment; nullptr when unknown.
+  const Experiment* find(const std::string& name) const;
+
+  /// All experiments, sorted by name.
+  std::vector<const Experiment*> list() const;
+
+  std::size_t size() const noexcept { return experiments_.size(); }
+
+  /// Runs one experiment with the given CLI arguments and assembles its
+  /// JSON record: name, description, resolved params, recorded series,
+  /// exit code, and wall-clock seconds.
+  JsonValue run_to_record(const Experiment& experiment,
+                          const Args& args) const;
+
+ private:
+  std::map<std::string, Experiment> experiments_;
+};
+
+/// Registers an experiment at static-initialization time; define one
+/// per experiment translation unit.
+struct ExperimentRegistrar {
+  ExperimentRegistrar(std::string name, std::string description,
+                      std::uint64_t default_reps,
+                      std::function<int(ExperimentContext&)> run);
+};
+
+}  // namespace plurality

@@ -177,5 +177,35 @@ TEST(AsyncOEB, MakeDerivesScheduleFromAssignment) {
   EXPECT_GE(proto.schedule().bp_ticks(), 8u);  // log2(16)+4 floor
 }
 
+/// Minimal topology claiming zero nodes, for the empty-population guard.
+struct EmptyGraph {
+  std::uint64_t num_nodes() const noexcept { return 0; }
+  std::uint64_t degree(NodeId) const noexcept { return 0; }
+  NodeId sample_neighbor(NodeId, Xoshiro256&) const noexcept { return 0; }
+};
+
+TEST(AsyncOEB, RejectsEmptyPopulation) {
+  // An n == 0 instance used to be constructible and made
+  // working_time_spread() read working_time_[0] out of bounds; the
+  // constructor must reject it outright.
+  const EmptyGraph g;
+  const AsyncSchedule schedule(8, 2);
+  Assignment empty;
+  empty.num_colors = 1;
+  EXPECT_THROW(
+      AsyncOneExtraBit<EmptyGraph>(g, std::move(empty), schedule),
+      ContractViolation);
+}
+
+TEST(AsyncOEB, DiagnosticsAreSafeBeforeAnyTick) {
+  const CompleteGraph g(16);
+  Xoshiro256 rng(8);
+  auto proto = AsyncOneExtraBit<CompleteGraph>::make(
+      g, assign_equal(16, 2, rng));
+  EXPECT_EQ(proto.working_time_spread(), 0u);
+  EXPECT_EQ(proto.median_working_time(), 0u);
+  EXPECT_DOUBLE_EQ(proto.fraction_poorly_synced(1), 0.0);
+}
+
 }  // namespace
 }  // namespace plurality

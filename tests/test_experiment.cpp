@@ -42,6 +42,81 @@ TEST(ArgsTest, RejectsPositionalArguments) {
   EXPECT_THROW(make_args({"positional"}), ContractViolation);
 }
 
+TEST(ArgsTest, PositionalErrorNamesTheArgument) {
+  try {
+    make_args({"n=4096"});  // typo: forgot the leading --
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("n=4096"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ArgsTest, RejectsMalformedUnsigned) {
+  const Args args = make_args({"--reps=abc", "--n=12x", "--neg=-3",
+                               "--plus=+3", "--empty=", "--huge="
+                               "99999999999999999999999999"});
+  EXPECT_THROW(args.get_u64("reps", 0), ContractViolation);
+  EXPECT_THROW(args.get_u64("n", 0), ContractViolation);
+  EXPECT_THROW(args.get_u64("neg", 0), ContractViolation);
+  EXPECT_THROW(args.get_u64("plus", 0), ContractViolation);
+  EXPECT_THROW(args.get_u64("empty", 0), ContractViolation);
+  EXPECT_THROW(args.get_u64("huge", 0), ContractViolation);
+}
+
+TEST(ArgsTest, MalformedUnsignedErrorNamesTheFlag) {
+  const Args args = make_args({"--reps=abc"});
+  try {
+    args.get_u64("reps", 0);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("reps"), std::string::npos) << what;
+    EXPECT_NE(what.find("abc"), std::string::npos) << what;
+  }
+}
+
+TEST(ArgsTest, RejectsMalformedDouble) {
+  const Args args = make_args({"--rate=1.5.2", "--eps=", "--x=fast"});
+  EXPECT_THROW(args.get_double("rate", 0.0), ContractViolation);
+  EXPECT_THROW(args.get_double("eps", 0.0), ContractViolation);
+  EXPECT_THROW(args.get_double("x", 0.0), ContractViolation);
+}
+
+TEST(ArgsTest, AcceptsWellFormedNumbers) {
+  const Args args = make_args({"--n=18446744073709551615", "--rate=1e3",
+                               "--eps=-0.25"});
+  EXPECT_EQ(args.get_u64("n", 0), UINT64_MAX);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.0), -0.25);
+}
+
+TEST(ArgsTest, RejectsWhitespaceAndSignTricks) {
+  // strtoull's own parsing skips whitespace and then accepts a sign,
+  // wrapping " -3" to ~2^64; the getters must not let that through.
+  const Args args = make_args({"--n= -3", "--m= 5", "--x= 1.5",
+                               "--bad=nan", "--worse=inf"});
+  EXPECT_THROW(args.get_u64("n", 0), ContractViolation);
+  EXPECT_THROW(args.get_u64("m", 0), ContractViolation);
+  EXPECT_THROW(args.get_double("x", 0.0), ContractViolation);
+  EXPECT_THROW(args.get_double("bad", 0.0), ContractViolation);
+  EXPECT_THROW(args.get_double("worse", 0.0), ContractViolation);
+}
+
+TEST(ArgsTest, DoubleRangeEdges) {
+  // Gradual underflow (subnormals) is representable and must parse;
+  // only true overflow is rejected.
+  const Args args = make_args({"--tiny=1e-320", "--huge=1e400"});
+  EXPECT_GT(args.get_double("tiny", 0.0), 0.0);
+  EXPECT_LT(args.get_double("tiny", 0.0), 1e-300);
+  EXPECT_THROW(args.get_double("huge", 0.0), ContractViolation);
+}
+
+TEST(ArgsTest, RejectsEmptyAndKeylessOptions) {
+  EXPECT_THROW(make_args({"--"}), ContractViolation);
+  EXPECT_THROW(make_args({"--=value"}), ContractViolation);
+}
+
 TEST(TableTest, AlignedRendering) {
   Table t("demo", {"name", "value"});
   t.row().cell("alpha").cell(std::uint64_t{42});

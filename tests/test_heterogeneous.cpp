@@ -128,7 +128,9 @@ TEST(Heterogeneous, AsyncOEBSurvivesMildSkew) {
   const auto result =
       run_continuous_heterogeneous(proto, rng, rates, 1e5);
   EXPECT_TRUE(result.consensus || proto.nodes_finished() == n);
-  if (result.consensus) EXPECT_EQ(result.winner, 0u);
+  if (result.consensus) {
+    EXPECT_EQ(result.winner, 0u);
+  }
 }
 
 }  // namespace

@@ -21,6 +21,18 @@
 namespace plurality {
 namespace {
 
+/// "n<n>_k<k>" test-name generator, built via += (not an operator+
+/// chain) to dodge the GCC 12 -Wrestrict false positive (GCC bug
+/// 105651).
+template <typename Tuple>
+std::string grid_name(const ::testing::TestParamInfo<Tuple>& info) {
+  std::string name = "n";
+  name += std::to_string(std::get<0>(info.param));
+  name += "_k";
+  name += std::to_string(std::get<1>(info.param));
+  return name;
+}
+
 // ---------------------------------------------------------------------
 // Support conservation + valid winner across (n, k) for every protocol.
 
@@ -71,10 +83,7 @@ INSTANTIATE_TEST_SUITE_P(
     SizeByColors, ProtocolGrid,
     ::testing::Combine(::testing::Values(64, 256, 1024),
                        ::testing::Values(2, 5, 16)),
-    [](const ::testing::TestParamInfo<GridParam>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
-             std::to_string(std::get<1>(info.param));
-    });
+    grid_name<GridParam>);
 
 // ---------------------------------------------------------------------
 // Bias monotonicity: stronger initial bias never hurts the plurality's
@@ -139,10 +148,7 @@ INSTANTIATE_TEST_SUITE_P(
     Sizes, ScheduleGrid,
     ::testing::Combine(::testing::Values(3, 8, 100, 4096, 1u << 20),
                        ::testing::Values(1, 2, 64, 4096)),
-    [](const ::testing::TestParamInfo<ScheduleParam>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
-             std::to_string(std::get<1>(info.param));
-    });
+    grid_name<ScheduleParam>);
 
 // ---------------------------------------------------------------------
 // Workload generators: exactness across a grid.
@@ -183,10 +189,7 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, WorkloadGrid,
     ::testing::Combine(::testing::Values(50, 1000, 65536),
                        ::testing::Values(2, 7, 32)),
-    [](const ::testing::TestParamInfo<WorkloadParam>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
-             std::to_string(std::get<1>(info.param));
-    });
+    grid_name<WorkloadParam>);
 
 // ---------------------------------------------------------------------
 // Consensus absorbing across protocols and models (property form).

@@ -1,0 +1,204 @@
+// Tests for the experiment registry and JSON record pipeline: the
+// JsonValue build/parse/dump round-trip, registrar bookkeeping, and an
+// end-to-end run of both a toy experiment and a real registered
+// experiment through ExperimentRegistry::run_to_record, validating that
+// the emitted JSON parses and carries the expected keys.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "experiment/args.hpp"
+#include "experiment/json_writer.hpp"
+#include "experiment/registry.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+namespace {
+
+Args make_args(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+// ---- JsonValue -------------------------------------------------------
+
+TEST(JsonValue, BuildsAndDumpsScalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(-7).dump(), "-7");
+  EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonValue, EscapesStrings) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj["zeta"] = 1;
+  obj["alpha"] = 2;
+  EXPECT_EQ(obj.dump(-1), "{\"zeta\":1,\"alpha\":2}");
+}
+
+TEST(JsonValue, ParsesRoundTrip) {
+  const std::string text =
+      R"({"name": "exp", "samples": [1, 2.5, -3e2], "ok": true,)"
+      R"( "nested": {"k": [null, "sA"]}})";
+  const JsonValue v = JsonValue::parse(text);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->as_string(), "exp");
+  ASSERT_TRUE(v.find("samples")->is_array());
+  EXPECT_EQ(v.find("samples")->size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("samples")->at(2).as_double(), -300.0);
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  EXPECT_EQ(v.find("nested")->find("k")->at(1).as_string(), "sA");
+
+  // dump -> parse -> dump is a fixed point.
+  const std::string dumped = v.dump();
+  EXPECT_EQ(JsonValue::parse(dumped).dump(), dumped);
+}
+
+TEST(JsonValue, ParseRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("nul"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1.2.3"), JsonParseError);
+}
+
+TEST(JsonValue, IntegersSurviveRoundTripExactly) {
+  const std::uint64_t big = 0xDEADBEEFCAFEBABEull;
+  JsonValue v = JsonValue::object();
+  v["seed"] = big;
+  EXPECT_EQ(JsonValue::parse(v.dump()).find("seed")->as_u64(), big);
+}
+
+// ---- registry --------------------------------------------------------
+
+int toy_experiment(ExperimentContext& ctx) {
+  std::vector<double> samples;
+  for (std::uint64_t rep = 0; rep < ctx.reps; ++rep) {
+    samples.push_back(static_cast<double>(rep + 1));
+  }
+  ctx.record("toy_series", {{"n", 128}, {"label", "unit"}}, samples);
+  return 0;
+}
+
+// Registered at static-init time, exactly like the bench/ experiments.
+const ExperimentRegistrar kToyRegistrar{
+    "test_toy", "toy experiment used by the registry unit tests",
+    /*default_reps=*/4, toy_experiment};
+
+TEST(Registry, RegistrarMakesExperimentDiscoverable) {
+  const auto& registry = ExperimentRegistry::instance();
+  const Experiment* toy = registry.find("test_toy");
+  ASSERT_NE(toy, nullptr);
+  EXPECT_EQ(toy->default_reps, 4u);
+  EXPECT_EQ(registry.find("no_such_experiment"), nullptr);
+
+  // list() is name-sorted and contains the toy experiment.
+  const auto all = registry.list();
+  EXPECT_GE(all.size(), 1u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->name, all[i]->name);
+  }
+}
+
+TEST(Registry, RejectsDuplicateAndMalformedRegistrations) {
+  auto& registry = ExperimentRegistry::instance();
+  EXPECT_THROW(registry.add(Experiment{"test_toy", "dup", 1, toy_experiment}),
+               ContractViolation);
+  EXPECT_THROW(registry.add(Experiment{"", "anon", 1, toy_experiment}),
+               ContractViolation);
+  EXPECT_THROW(registry.add(Experiment{"test_norun", "no body", 1, nullptr}),
+               ContractViolation);
+}
+
+TEST(Registry, RunToRecordEmitsSchemaValidJson) {
+  const auto& registry = ExperimentRegistry::instance();
+  const Experiment* toy = registry.find("test_toy");
+  ASSERT_NE(toy, nullptr);
+
+  const Args args = make_args({"--reps=3", "--seed=7"});
+  const JsonValue record = registry.run_to_record(*toy, args);
+
+  // The record must survive a dump -> parse round trip...
+  const JsonValue parsed = JsonValue::parse(record.dump());
+  ASSERT_TRUE(parsed.is_object());
+
+  // ...and carry the schema keys.
+  for (const char* key :
+       {"schema_version", "experiment", "description", "params", "series",
+        "exit_code", "wall_clock_seconds"}) {
+    EXPECT_TRUE(parsed.has(key)) << "missing key: " << key;
+  }
+  EXPECT_EQ(parsed.find("experiment")->as_string(), "test_toy");
+  EXPECT_EQ(parsed.find("exit_code")->as_u64(), 0u);
+  EXPECT_GE(parsed.find("wall_clock_seconds")->as_double(), 0.0);
+
+  // Shared knobs resolve from the CLI.
+  const JsonValue* params = parsed.find("params");
+  ASSERT_TRUE(params->is_object());
+  EXPECT_EQ(params->find("seed")->as_u64(), 7u);
+  EXPECT_EQ(params->find("reps")->as_u64(), 3u);
+
+  // The recorded series carries raw samples plus Welford aggregates.
+  const JsonValue* series = parsed.find("series");
+  ASSERT_TRUE(series->is_array());
+  ASSERT_EQ(series->size(), 1u);
+  const JsonValue& entry = series->at(0);
+  EXPECT_EQ(entry.find("name")->as_string(), "toy_series");
+  EXPECT_EQ(entry.find("params")->find("n")->as_u64(), 128u);
+  EXPECT_EQ(entry.find("params")->find("label")->as_string(), "unit");
+  ASSERT_EQ(entry.find("samples")->size(), 3u);  // samples 1, 2, 3
+  EXPECT_EQ(entry.find("count")->as_u64(), 3u);
+  EXPECT_DOUBLE_EQ(entry.find("mean")->as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(entry.find("stddev")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(entry.find("stderr")->as_double(), 1.0 / std::sqrt(3.0));
+  EXPECT_DOUBLE_EQ(entry.find("min")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(entry.find("max")->as_double(), 3.0);
+}
+
+TEST(Registry, EndToEndRealExperimentProducesValidRecord) {
+  // This test links the experiment object library, so the 17 migrated
+  // bench experiments are registered here too. Run a real one, small.
+  const auto& registry = ExperimentRegistry::instance();
+  EXPECT_GE(registry.size(), 16u);
+  const Experiment* experiment = registry.find("quadratic_growth");
+  ASSERT_NE(experiment, nullptr);
+
+  // --csv keeps the test log compact; tiny n and reps keep it fast.
+  const Args args = make_args({"--reps=2", "--n=2048", "--csv"});
+  ::testing::internal::CaptureStdout();
+  const JsonValue record = registry.run_to_record(*experiment, args);
+  const std::string stdout_text = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(stdout_text.find("initial_ratio"), std::string::npos);
+
+  const JsonValue parsed = JsonValue::parse(record.dump());
+  EXPECT_EQ(parsed.find("experiment")->as_string(), "quadratic_growth");
+  EXPECT_EQ(parsed.find("exit_code")->as_u64(), 0u);
+  EXPECT_EQ(parsed.find("params")->find("reps")->as_u64(), 2u);
+  const JsonValue* series = parsed.find("series");
+  ASSERT_TRUE(series->is_array());
+  ASSERT_GT(series->size(), 0u);
+  for (std::size_t i = 0; i < series->size(); ++i) {
+    const JsonValue& entry = series->at(i);
+    EXPECT_EQ(entry.find("samples")->size(), 2u);
+    EXPECT_EQ(entry.find("count")->as_u64(), 2u);
+    EXPECT_TRUE(entry.find("mean")->is_number());
+    EXPECT_TRUE(entry.find("stderr")->is_number());
+  }
+}
+
+}  // namespace
+}  // namespace plurality
