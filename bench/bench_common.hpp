@@ -8,6 +8,7 @@
 /// experiment/table.hpp, and records its headline series through
 /// ctx.record() so each run also emits a structured JSON record.
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
@@ -18,10 +19,55 @@
 #include "experiment/runner.hpp"
 #include "experiment/table.hpp"
 #include "rng/seed.hpp"
+#include "sim/engine_select.hpp"
 #include "stats/quantiles.hpp"
 #include "stats/regression.hpp"
 
 namespace plurality::bench {
+
+/// The engine an experiment body runs a protocol on: the experiment's
+/// default asynchronous model unless the user passed --engine=.
+inline EngineKind engine_for(const ExperimentContext& ctx,
+                             EngineKind experiment_default) {
+  return ctx.engine.empty() ? experiment_default
+                            : parse_engine_kind(ctx.engine);
+}
+
+/// Once per process (a plain function, not a template, so the flag is
+/// shared by every protocol instantiation).
+inline void warn_sharded_fallback_once() {
+  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
+  if (!warned.test_and_set()) {
+    std::cerr << "warning: --engine=sharded is not supported by this "
+                 "protocol (no propose()); running on the superposition "
+                 "engine instead\n";
+  }
+}
+
+/// Runs one protocol instance on the engine selected by --engine=
+/// (default: `experiment_default`, preserving each experiment's
+/// historical model). The sharded engine derives its per-shard streams
+/// from a word of `rng`; the other engines leave the stream untouched
+/// relative to the pre---engine harness. A --engine=sharded request for
+/// a protocol that is not shardable falls back to the superposition
+/// engine with a once-per-process stderr warning, so BENCH records
+/// claiming engine=sharded cannot silently hold superposition samples.
+template <typename P, typename Obs = NullObserver>
+AsyncRunResult run_async(const ExperimentContext& ctx,
+                         EngineKind experiment_default, P& proto,
+                         Xoshiro256& rng, double max_time, Obs&& obs = Obs{},
+                         double sample_every = 1.0) {
+  const EngineKind kind = engine_for(ctx, experiment_default);
+  const EngineKind effective = effective_engine_kind<P>(kind);
+  if (effective != kind) warn_sharded_fallback_once();
+  ctx.note_effective_engine(engine_kind_name(effective));
+  const std::uint64_t shard_seed =
+      effective == EngineKind::kSharded ? rng() : 0;
+  // Dispatch on `effective`, the same value that was just recorded, so
+  // the JSON label and the engine that runs can never diverge.
+  return run_async_engine(effective, proto, rng, shard_seed, ctx.shards,
+                          max_time, std::forward<Obs>(obs), sample_every);
+}
 
 /// Prints the experiment banner: id, paper claim, reproduce command.
 inline void banner(const ExperimentContext& ctx, const std::string& id,

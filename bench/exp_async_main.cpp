@@ -51,7 +51,8 @@ int run_exp(ExperimentContext& ctx) {
           auto proto = AsyncOneExtraBit<CompleteGraph>::make(
               g, assign_plurality_bias(n, k_fixed, bias, rng));
           budget = static_cast<double>(proto.schedule().total_length());
-          const auto result = run_sequential(proto, rng, 1e6);
+          const auto result =
+              bench::run_async(ctx, EngineKind::kSequential, proto, rng, 1e6);
           return std::vector<double>{
               result.time,
               (result.consensus && result.winner == 0) ? 1.0 : 0.0,
@@ -98,11 +99,13 @@ int run_exp(ExperimentContext& ctx) {
           auto oeb = AsyncOneExtraBit<CompleteGraph>::make(
               g, assign_plurality_bias(n, static_cast<ColorId>(k), bias,
                                        rng));
-          const auto oeb_result = run_sequential(oeb, rng, 1e6);
+          const auto oeb_result =
+              bench::run_async(ctx, EngineKind::kSequential, oeb, rng, 1e6);
           TwoChoicesAsync tc(
               g, assign_plurality_bias(n, static_cast<ColorId>(k), bias,
                                        rng));
-          const auto tc_result = run_sequential(tc, rng, 1e6);
+          const auto tc_result =
+              bench::run_async(ctx, EngineKind::kSequential, tc, rng, 1e6);
           return std::vector<double>{
               oeb_result.time,
               (oeb_result.consensus && oeb_result.winner == 0) ? 1.0 : 0.0,

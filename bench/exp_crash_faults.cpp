@@ -51,14 +51,16 @@ int run_exp(ExperimentContext& ctx) {
                   AsyncOneExtraBit<CompleteGraph>::make(
                       g, std::move(workload)),
                   plan);
-              const auto result = run_sequential(proto, rng, 2000.0);
+              const auto result = bench::run_async(
+                  ctx, EngineKind::kSequential, proto, rng, 2000.0);
               return std::vector<double>{proto.live_agreement(),
                                          result.consensus ? 1.0 : 0.0};
             }
             CrashAdapter<TwoChoicesAsync<CompleteGraph>> proto(
                 TwoChoicesAsync<CompleteGraph>(g, std::move(workload)),
                 plan);
-            const auto result = run_sequential(proto, rng, 2000.0);
+            const auto result = bench::run_async(
+                ctx, EngineKind::kSequential, proto, rng, 2000.0);
             return std::vector<double>{proto.live_agreement(),
                                        result.consensus ? 1.0 : 0.0};
           },

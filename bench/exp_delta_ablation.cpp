@@ -46,8 +46,8 @@ int run_exp(ExperimentContext& ctx) {
           delta = proto.schedule().delta();
           budget = static_cast<double>(proto.schedule().total_length());
           double max_poor = 0.0;
-          const auto result = run_sequential(
-              proto, rng, 1e6,
+          const auto result = bench::run_async(
+              ctx, EngineKind::kSequential, proto, rng, 1e6,
               [&](double, const AsyncOneExtraBit<CompleteGraph>& p) {
                 max_poor = std::max(
                     max_poor,

@@ -38,7 +38,8 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 2, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           TwoChoicesAsync proto(g, assign_two_colors(n, c1, rng));
-          const auto result = run_sequential(proto, rng, 1e6);
+          const auto result =
+              bench::run_async(ctx, EngineKind::kSequential, proto, rng, 1e6);
           return std::vector<double>{
               result.time,
               (result.consensus && result.winner == 0) ? 1.0 : 0.0};
@@ -72,7 +73,8 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 2, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           TwoChoicesAsync proto(g, assign_two_colors(n, c1, rng));
-          const auto result = run_sequential(proto, rng, 1e6);
+          const auto result =
+              bench::run_async(ctx, EngineKind::kSequential, proto, rng, 1e6);
           return std::vector<double>{
               result.time,
               (result.consensus && result.winner == 0) ? 1.0 : 0.0};

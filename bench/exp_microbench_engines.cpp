@@ -1,6 +1,11 @@
-// M1b — microbenchmarks: engine and protocol throughput, reported as
-// ns per tick (async protocols), ns per node-update (sync rounds), and
-// the cost of the continuous-time event-queue machinery. Hand-rolled
+// M1b/M1c — microbenchmarks. M1b: protocol tick and engine event-loop
+// throughput (ns per tick / node-update). M1c: the same protocol driven
+// by every asynchronous engine — sequential, n-timer heap, O(1)
+// superposition, and the sharded engine at several shard counts — so
+// the per-tick cost of the engine machinery itself can be compared
+// head-to-head (ISSUE 2 acceptance: superposition >= 3x over heap at
+// n = 10^6, sharded scaling across threads at n = 10^7; run with
+// --m1c_n=1000000 / 10000000 to reproduce at full scale). Hand-rolled
 // timing (steady_clock, one sample per repetition) on the shared
 // registry/JSON harness.
 
@@ -14,6 +19,7 @@
 #include "opinion/assignment.hpp"
 #include "sim/continuous_engine.hpp"
 #include "sim/sequential_engine.hpp"
+#include "sim/sharded_engine.hpp"
 
 using namespace plurality;
 
@@ -96,8 +102,8 @@ int run_exp(ExperimentContext& ctx) {
                   static_cast<double>(rounds * n);
          }));
   report("continuous_engine_tick", per_rep([&](Xoshiro256& rng) {
-           // Cost of the event-queue machinery itself: heap pops/pushes
-           // plus exponential draws, amortized per tick of the cheapest
+           // Cost of the continuous-engine machinery itself (now the
+           // superposition sampler), amortized per tick of the cheapest
            // protocol.
            const double horizon =
                static_cast<double>(ticks) / static_cast<double>(n);
@@ -114,13 +120,78 @@ int run_exp(ExperimentContext& ctx) {
          }));
 
   table.print(std::cout, ctx.csv);
+
+  // ---- M1c: one protocol, every engine. Voter with 64 colors stays
+  // far from consensus over the horizon, so all engines simulate the
+  // same Poisson(n * horizon) tick load and the measured difference is
+  // pure engine machinery.
+  const std::uint64_t mc_n = ctx.args.get_u64("m1c_n", n);
+  const std::uint64_t mc_ticks = ctx.args.get_u64("m1c_iters", ticks);
+  const double horizon =
+      static_cast<double>(mc_ticks) / static_cast<double>(mc_n);
+  const CompleteGraph mc_graph(mc_n);
+
+  Table engines("M1c: async engine comparison  (voter, n=" +
+                    std::to_string(mc_n) + ", horizon=" +
+                    std::to_string(horizon) + ")",
+                {"engine", "ns_tick", "ci95", "ticks_per_sec",
+                 "speedup_vs_heap"});
+
+  const auto time_engine = [&](auto&& run_engine) {
+    return per_rep([&](Xoshiro256& rng) {
+      VoterAsync proto(mc_graph, assign_equal(mc_n, 64, rng));
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = run_engine(proto, rng);
+      const auto stop = std::chrono::steady_clock::now();
+      g_sink = result.ticks;
+      return std::chrono::duration<double, std::nano>(stop - start)
+                 .count() /
+             std::max(static_cast<double>(result.ticks), 1.0);
+    });
+  };
+
+  double heap_mean = 0.0;
+  const auto report_engine = [&](const std::string& name,
+                                 const std::vector<double>& samples) {
+    ctx.record("ns_per_tick_engine",
+               {{"engine", name.c_str()}, {"n", mc_n}}, samples);
+    const Summary s = summarize(samples);
+    if (name == "heap") heap_mean = s.mean;
+    engines.row()
+        .cell(name)
+        .cell(s.mean, 2)
+        .cell(s.ci95_halfwidth, 2)
+        .cell(1e9 / s.mean, 0)
+        .cell(heap_mean > 0.0 ? heap_mean / s.mean : 1.0, 2);
+  };
+
+  report_engine("heap", time_engine([&](auto& proto, Xoshiro256& rng) {
+                  return run_continuous_heap(proto, rng, horizon);
+                }));
+  report_engine("superposition",
+                time_engine([&](auto& proto, Xoshiro256& rng) {
+                  return run_continuous(proto, rng, horizon);
+                }));
+  report_engine("sequential",
+                time_engine([&](auto& proto, Xoshiro256& rng) {
+                  return run_sequential(proto, rng, horizon);
+                }));
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    report_engine("sharded_t" + std::to_string(shards),
+                  time_engine([&](auto& proto, Xoshiro256& rng) {
+                    return run_sharded(proto, rng(), shards, horizon);
+                  }));
+  }
+
+  engines.print(std::cout, ctx.csv);
   return 0;
 }
 
 const ExperimentRegistrar kRegistrar{
     "microbench_engines",
-    "M1b: protocol tick and engine event-loop throughput (ns per tick / "
-    "node-update)",
+    "M1b/M1c: protocol tick and engine event-loop throughput (ns per "
+    "tick / node-update), plus heap vs superposition vs sharded engine "
+    "head-to-head",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

@@ -38,7 +38,8 @@ int run_exp(ExperimentContext& ctx) {
         [&](std::uint64_t, Xoshiro256& rng) {
           auto proto = AsyncOneExtraBit<CompleteGraph>::make(
               g, assign_plurality_bias(n, k, bias, rng));
-          const auto result = run_continuous(proto, rng, 1e5);
+          const auto result = bench::run_async(
+              ctx, EngineKind::kSuperposition, proto, rng, 1e5);
           return std::vector<double>{
               result.time,
               (result.consensus && result.winner == 0) ? 1.0 : 0.0,

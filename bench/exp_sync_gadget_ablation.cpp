@@ -62,7 +62,8 @@ int run_exp(ExperimentContext& ctx) {
             probe.window = 2 * proto.schedule().delta();
             const double horizon =
                 static_cast<double>(proto.schedule().part1_length());
-            run_sequential(proto, rng, horizon, std::ref(probe), 10.0);
+            bench::run_async(ctx, EngineKind::kSequential, proto, rng,
+                             horizon, std::ref(probe), 10.0);
             const bool won = proto.table().has_consensus() &&
                              proto.table().consensus_color() == 0;
             return std::vector<double>{

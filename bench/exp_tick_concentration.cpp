@@ -70,7 +70,8 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 3, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           ClockEnsemble clocks(n);
-          run_sequential(clocks, rng, horizon);
+          bench::run_async(ctx, EngineKind::kSequential, clocks, rng,
+                           horizon);
           const auto [lo, hi] = clocks.min_max();
           const double dev =
               std::max(horizon - static_cast<double>(lo),

@@ -31,9 +31,11 @@ void measure(ExperimentContext& ctx, Table& table,
       ctx.reps, 4, seeds,
       [&](std::uint64_t, Xoshiro256& rng) {
         TwoChoicesAsync tc(g, assign_two_colors(n, c1, rng));
-        const auto tc_result = run_sequential(tc, rng, horizon);
+        const auto tc_result =
+            bench::run_async(ctx, EngineKind::kSequential, tc, rng, horizon);
         VoterAsync voter(g, assign_two_colors(n, c1, rng));
-        const auto voter_result = run_sequential(voter, rng, horizon);
+        const auto voter_result = bench::run_async(
+            ctx, EngineKind::kSequential, voter, rng, horizon);
         return std::vector<double>{
             tc_result.time, tc_result.consensus ? 1.0 : 0.0,
             voter_result.time, voter_result.consensus ? 1.0 : 0.0};

@@ -79,9 +79,20 @@ class ThreeMajorityAsync {
     table_.set_color(u, detail::majority_of_three(a, b, c));
   }
 
+  /// Sharded-engine form of on_tick: the same update as a pure color
+  /// proposal off a read view (see sim/sharded_engine.hpp).
+  template <typename View>
+  ColorId propose(NodeId u, const View& view, Xoshiro256& rng) const {
+    const ColorId a = view.color(graph_->sample_neighbor(u, rng));
+    const ColorId b = view.color(graph_->sample_neighbor(u, rng));
+    const ColorId c = view.color(graph_->sample_neighbor(u, rng));
+    return detail::majority_of_three(a, b, c);
+  }
+
   std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
   bool done() const noexcept { return table_.has_consensus(); }
   const OpinionTable& table() const noexcept { return table_; }
+  OpinionTable& mutable_table() noexcept { return table_; }
 
  private:
   const G* graph_;

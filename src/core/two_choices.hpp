@@ -71,9 +71,19 @@ class TwoChoicesAsync {
     if (cv == table_.color(w)) table_.set_color(u, cv);
   }
 
+  /// Sharded-engine form of on_tick: the same update as a pure color
+  /// proposal off a read view (see sim/sharded_engine.hpp).
+  template <typename View>
+  ColorId propose(NodeId u, const View& view, Xoshiro256& rng) const {
+    const ColorId cv = view.color(graph_->sample_neighbor(u, rng));
+    const ColorId cw = view.color(graph_->sample_neighbor(u, rng));
+    return cv == cw ? cv : view.color(u);
+  }
+
   std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
   bool done() const noexcept { return table_.has_consensus(); }
   const OpinionTable& table() const noexcept { return table_; }
+  OpinionTable& mutable_table() noexcept { return table_; }
 
  private:
   const G* graph_;

@@ -65,9 +65,17 @@ class VoterAsync {
     table_.set_color(u, table_.color(v));
   }
 
+  /// Sharded-engine form of on_tick: the same update as a pure color
+  /// proposal off a read view (see sim/sharded_engine.hpp).
+  template <typename View>
+  ColorId propose(NodeId u, const View& view, Xoshiro256& rng) const {
+    return view.color(graph_->sample_neighbor(u, rng));
+  }
+
   std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
   bool done() const noexcept { return table_.has_consensus(); }
   const OpinionTable& table() const noexcept { return table_; }
+  OpinionTable& mutable_table() noexcept { return table_; }
 
  private:
   const G* graph_;

@@ -119,6 +119,22 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
       params[key] = typed_param(value);
     }
   }
+  // The engines that actually ran (a sharded request can fall back per
+  // protocol), so the record stays truthful even when it differs from
+  // the requested --engine=; likewise the resolved shard count, since
+  // --shards=0 picks the host's core count and sharded trajectories
+  // depend on it.
+  if (const auto engines = ctx.effective_engines(); !engines.empty()) {
+    std::string joined;
+    for (const auto& name : engines) {
+      if (!joined.empty()) joined += ",";
+      joined += name;
+    }
+    params["engine_effective"] = joined;
+    if (engines.count("sharded") > 0) {
+      params["shards_resolved"] = ctx.shards;
+    }
+  }
   record["params"] = std::move(params);
 
   record["series"] = ctx.take_series();

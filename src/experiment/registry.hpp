@@ -18,14 +18,18 @@
 #include <functional>
 #include <initializer_list>
 #include <map>
+#include <mutex>
+#include <set>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "experiment/args.hpp"
 #include "experiment/json_writer.hpp"
 #include "rng/seed.hpp"
+#include "sim/engine_select.hpp"
 
 namespace plurality {
 
@@ -40,12 +44,29 @@ class ExperimentContext {
         master_seed(args.get_u64("seed", 42)),
         reps(args.get_u64("reps", default_reps)),
         threads(static_cast<unsigned>(args.get_u64("threads", 0))),
-        csv(args.csv()) {}
+        engine(args.get_string("engine", "")),
+        shards(static_cast<unsigned>(args.get_u64("shards", 0))),
+        csv(args.csv()) {
+    // Validate --engine= here, on the main thread: experiment bodies
+    // resolve it inside per-repetition lambdas that run on unguarded
+    // worker threads, where a throw would std::terminate the process
+    // instead of producing the parse error.
+    if (!engine.empty()) parse_engine_kind(engine);
+    // Resolve --shards=0 (hardware concurrency) to a concrete count
+    // up front: sharded trajectories are deterministic for a fixed
+    // (seed, shards), so the resolved value must land in the JSON
+    // record (shards_resolved) for the run to be replayable elsewhere.
+    if (shards == 0) {
+      shards = std::max(1u, std::thread::hardware_concurrency());
+    }
+  }
 
   Args args;
   std::uint64_t master_seed;
   std::uint64_t reps;
   unsigned threads;
+  std::string engine;  ///< --engine= override; empty = experiment default
+  unsigned shards;     ///< --shards=, resolved (0 -> hardware concurrency)
   bool csv;
 
   /// Independent seed stream for one sweep point of the experiment.
@@ -64,8 +85,27 @@ class ExperimentContext {
   /// Hands the accumulated series array to the registry runner.
   JsonValue take_series() { return std::exchange(series_, JsonValue::array()); }
 
+  /// Called by the bench harness with the engine that actually drove a
+  /// protocol (a --engine=sharded request falls back to superposition
+  /// for non-shardable protocols); collected into the JSON record as
+  /// params.engine_effective so records never silently misattribute
+  /// their samples. Thread-safe (repetition bodies run on workers).
+  void note_effective_engine(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    engines_used_.insert(name);
+  }
+
+  /// All engines noted during the run, sorted; empty when the
+  /// experiment never drove an async engine.
+  std::set<std::string> effective_engines() const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    return engines_used_;
+  }
+
  private:
   JsonValue series_ = JsonValue::array();
+  mutable std::mutex engines_mutex_;
+  mutable std::set<std::string> engines_used_;
 };
 
 /// A registered experiment.

@@ -18,6 +18,33 @@ OpinionTable::OpinionTable(std::vector<ColorId> colors, ColorId num_colors)
   PC_ENSURES(surviving_ >= 1);
 }
 
+void OpinionTable::merge_shard_deltas(std::span<const NodeId> changed,
+                                      std::span<const ColorId> live,
+                                      std::span<const std::int64_t> delta) {
+  PC_EXPECTS(live.size() == colors_.size());
+  PC_EXPECTS(delta.size() == support_.size());
+  for (const NodeId u : changed) {
+    PC_EXPECTS(u < colors_.size());
+    PC_EXPECTS(live[u] < num_colors_);
+    colors_[u] = live[u];
+  }
+  std::int64_t total = 0;
+  for (ColorId c = 0; c < num_colors_; ++c) {
+    const std::int64_t d = delta[c];
+    if (d == 0) continue;
+    total += d;
+    const std::uint64_t old = support_[c];
+    PC_EXPECTS(d >= 0 || old >= static_cast<std::uint64_t>(-d));
+    const std::uint64_t updated = old + static_cast<std::uint64_t>(d);
+    support_[c] = updated;
+    if (old == 0 && updated > 0) ++surviving_;
+    if (old > 0 && updated == 0) --surviving_;
+    if (updated > max_support_) max_support_ = updated;
+  }
+  PC_ENSURES(total == 0);
+  PC_ENSURES(surviving_ >= 1);
+}
+
 ColorId OpinionTable::consensus_color() const {
   PC_EXPECTS(has_consensus());
   return colors_[0];

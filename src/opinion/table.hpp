@@ -45,6 +45,17 @@ class OpinionTable {
     // scans, never for correctness decisions (see plurality_color()).
   }
 
+  /// Bulk merge for the sharded engine: `changed` lists the nodes a
+  /// shard recolored during an epoch (duplicates allowed), `live` is the
+  /// full n-entry color array holding their final colors, and `delta` is
+  /// the shard's per-color net support change over the epoch. Updates
+  /// colors, supports, survivor count and max support in
+  /// O(|changed| + num_colors). Requires the deltas to sum to zero and
+  /// to keep every support non-negative.
+  void merge_shard_deltas(std::span<const NodeId> changed,
+                          std::span<const ColorId> live,
+                          std::span<const std::int64_t> delta);
+
   std::uint64_t support(ColorId c) const {
     PC_EXPECTS(c < num_colors_);
     return support_[c];

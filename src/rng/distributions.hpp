@@ -79,13 +79,20 @@ inline bool bernoulli(G& gen, double p) {
   return uniform_unit(gen) < p;
 }
 
+/// Exp(1) draw with no rate division: engines on the hot path hoist the
+/// 1/rate scale out of the tick loop and multiply the unit draw instead.
+template <BitGenerator64 G>
+inline double exponential_unit(G& gen) {
+  return -std::log(uniform_open(gen));
+}
+
 /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
 /// This is the inter-tick law of the paper's Poisson clocks (lambda = 1)
 /// and of the response-delay extension.
 template <BitGenerator64 G>
 inline double exponential(G& gen, double rate) {
   PC_EXPECTS(rate > 0.0);
-  return -std::log(uniform_open(gen)) / rate;
+  return exponential_unit(gen) / rate;
 }
 
 namespace detail {

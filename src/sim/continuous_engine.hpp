@@ -2,16 +2,35 @@
 
 /// \file continuous_engine.hpp
 /// The paper's continuous asynchronous model: every node carries an
-/// independent Poisson(1) clock; ticks are scheduled as discrete events
-/// with Exp(1) inter-arrival times. The engine also supports protocols
-/// that exchange *delayed messages* (the response-delay extension of
-/// §4): a messaging protocol stages (recipient, delay, message) triples
-/// in an Outbox, and the engine delivers them as events.
+/// independent Poisson(1) clock. Two exact simulations are provided:
+///
+/// - run_continuous (default): *superposition sampling*. The union of n
+///   independent Poisson(1) processes is one Poisson(n) process whose
+///   arrivals are attributed to nodes independently and uniformly (the
+///   equivalence the paper leans on via Mosk-Aoyama & Shah, ref [4]).
+///   So the engine draws the ticking node Uniform(n) and advances one
+///   global clock by Exp(n) — O(1) per tick, no per-node timer state.
+///
+/// - run_continuous_heap: the literal n-timer event-queue simulation
+///   (each node keeps its own next-tick time in a priority queue).
+///   O(log n) per tick plus the O(n) queue build; kept as the reference
+///   implementation the superposition engine is validated against.
+///
+/// Both are exact samplers of the same process, but they consume the
+/// RNG stream differently: a fixed seed gives *statistically identical*
+/// runs across engines, not bit-identical trajectories (see README,
+/// "Engine selection").
+///
+/// The engine also supports protocols that exchange *delayed messages*
+/// (the response-delay extension of §4): a messaging protocol stages
+/// (recipient, delay, message) triples in an Outbox; the engine keeps a
+/// queue only for pending deliveries and races its head against the
+/// superposition-generated tick stream.
 
+#include <cstddef>
 #include <cstdint>
 #include <tuple>
 #include <utility>
-#include <variant>
 #include <vector>
 
 #include "rng/distributions.hpp"
@@ -57,8 +76,33 @@ concept MessagingProtocol =
       { cp.table() } -> std::convertible_to<const OpinionTable&>;
     };
 
+namespace detail {
+
+/// Pre-drawn (node, unit-exponential) pairs for the superposition
+/// engine. Refilling in two tight loops keeps the uniform_below and log
+/// pipelines independent, which measurably beats drawing the pair
+/// inside the tick loop.
+struct TickBatch {
+  static constexpr std::size_t kSize = 64;
+
+  std::uint64_t nodes[kSize];
+  double waits[kSize];  // Exp(1) draws; caller scales by 1/n
+  std::size_t next = kSize;
+
+  void refill(Xoshiro256& rng, std::uint64_t n) {
+    for (std::size_t i = 0; i < kSize; ++i) nodes[i] = uniform_below(rng, n);
+    for (std::size_t i = 0; i < kSize; ++i) waits[i] = exponential_unit(rng);
+    next = 0;
+  }
+};
+
+}  // namespace detail
+
 /// Runs a plain (non-messaging) protocol under Poisson(1) clocks until
-/// done() or `max_time`. Observer cadence as in run_sequential.
+/// done() or `max_time`, by exact superposition sampling (see file
+/// header). Observer cadence as in run_sequential. When the run is cut
+/// off by the horizon, result.time reports `max_time` — the simulated
+/// time actually reached — not the timestamp of the last event.
 template <AsyncProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_continuous(P& proto, Xoshiro256& rng, double max_time,
                               Obs&& obs = Obs{}, double sample_every = 1.0) {
@@ -66,16 +110,53 @@ AsyncRunResult run_continuous(P& proto, Xoshiro256& rng, double max_time,
   PC_EXPECTS(sample_every > 0.0);
   const std::uint64_t n = proto.num_nodes();
   PC_EXPECTS(n >= 1);
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  detail::TickBatch batch;
+  AsyncRunResult result;
+  double now = 0.0;
+  double next_sample = 0.0;
+  while (!proto.done()) {
+    if (batch.next == detail::TickBatch::kSize) batch.refill(rng, n);
+    const double tick_time = now + batch.waits[batch.next] * inv_n;
+    if (tick_time > max_time) break;
+    now = tick_time;
+    while (next_sample <= now) {
+      obs(next_sample, proto);
+      next_sample += sample_every;
+    }
+    proto.on_tick(static_cast<NodeId>(batch.nodes[batch.next]), rng);
+    ++batch.next;
+    ++result.ticks;
+  }
+  result.time = proto.done() ? now : max_time;
+  obs(result.time, proto);
+  result.consensus = proto.table().has_consensus();
+  if (result.consensus) result.winner = proto.table().consensus_color();
+  return result;
+}
+
+/// The reference n-timer simulation: every node's next tick sits in an
+/// event queue. Same process as run_continuous, O(log n) per tick.
+template <AsyncProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_continuous_heap(P& proto, Xoshiro256& rng, double max_time,
+                                   Obs&& obs = Obs{},
+                                   double sample_every = 1.0) {
+  PC_EXPECTS(max_time > 0.0);
+  PC_EXPECTS(sample_every > 0.0);
+  const std::uint64_t n = proto.num_nodes();
+  PC_EXPECTS(n >= 1);
 
   EventQueue<NodeId> ticks;
+  ticks.reserve(n + 1);
   for (std::uint64_t u = 0; u < n; ++u) {
-    ticks.push(exponential(rng, 1.0), static_cast<NodeId>(u));
+    ticks.push(exponential_unit(rng), static_cast<NodeId>(u));
   }
 
   AsyncRunResult result;
   double now = 0.0;
   double next_sample = 0.0;
-  while (!ticks.empty() && !proto.done()) {
+  while (!proto.done()) {
     if (ticks.next_time() > max_time) break;
     const auto event = ticks.pop();
     now = event.time;
@@ -85,10 +166,10 @@ AsyncRunResult run_continuous(P& proto, Xoshiro256& rng, double max_time,
     }
     proto.on_tick(event.payload, rng);
     ++result.ticks;
-    ticks.push(now + exponential(rng, 1.0), event.payload);
+    ticks.push(now + exponential_unit(rng), event.payload);
   }
-  result.time = now;
-  obs(now, proto);
+  result.time = proto.done() ? now : max_time;
+  obs(result.time, proto);
   result.consensus = proto.table().has_consensus();
   if (result.consensus) result.winner = proto.table().consensus_color();
   return result;
@@ -96,6 +177,12 @@ AsyncRunResult run_continuous(P& proto, Xoshiro256& rng, double max_time,
 
 /// Driver state for messaging protocols (kept as a class so Outbox can
 /// befriend it). Constrained at the run_continuous_messaging entry point.
+///
+/// Ticks come from the superposition stream (no per-node timers); only
+/// *deliveries* live in an event queue, and the queue head races the
+/// next generated tick. A delivery that lands exactly on a tick time is
+/// processed first (ties between the two streams have probability zero;
+/// deliveries among themselves keep their (time, post order) sequence).
 template <typename P, typename Obs>
 class ContinuousMessagingDriver {
  public:
@@ -107,51 +194,48 @@ class ContinuousMessagingDriver {
     PC_EXPECTS(sample_every > 0.0);
     const std::uint64_t n = proto_.num_nodes();
     PC_EXPECTS(n >= 1);
+    const double inv_n = 1.0 / static_cast<double>(n);
 
     using Message = typename P::Message;
-    struct TickEvent {
-      NodeId node;
-    };
-    struct DeliveryEvent {
+    struct Delivery {
       NodeId to;
       Message message;
     };
-    using Payload = std::variant<TickEvent, DeliveryEvent>;
 
-    EventQueue<Payload> queue;
-    for (std::uint64_t u = 0; u < n; ++u) {
-      queue.push(exponential(rng_, 1.0),
-                 Payload{TickEvent{static_cast<NodeId>(u)}});
-    }
-
+    EventQueue<Delivery> deliveries;
+    deliveries.reserve(n);
     Outbox<Message> outbox;
     AsyncRunResult result;
     double now = 0.0;
     double next_sample = 0.0;
-    while (!queue.empty() && !proto_.done()) {
-      if (queue.next_time() > max_time) break;
-      auto event = queue.pop();
-      now = event.time;
+    double next_tick = exponential_unit(rng_) * inv_n;
+    while (!proto_.done()) {
+      const bool deliver =
+          !deliveries.empty() && deliveries.next_time() <= next_tick;
+      const double event_time = deliver ? deliveries.next_time() : next_tick;
+      if (event_time > max_time) break;
+      now = event_time;
       while (next_sample <= now) {
         obs_(next_sample, proto_);
         next_sample += sample_every;
       }
-      if (std::holds_alternative<TickEvent>(event.payload)) {
-        const NodeId u = std::get<TickEvent>(event.payload).node;
+      if (deliver) {
+        auto event = deliveries.pop();
+        proto_.on_message(event.payload.to, std::move(event.payload.message),
+                          rng_, now, outbox);
+      } else {
+        const auto u = static_cast<NodeId>(uniform_below(rng_, n));
         proto_.on_tick(u, rng_, now, outbox);
         ++result.ticks;
-        queue.push(now + exponential(rng_, 1.0), Payload{TickEvent{u}});
-      } else {
-        auto& delivery = std::get<DeliveryEvent>(event.payload);
-        proto_.on_message(delivery.to, delivery.message, rng_, now, outbox);
+        next_tick = now + exponential_unit(rng_) * inv_n;
       }
       for (auto& [to, delay, message] : outbox.staged_) {
-        queue.push(now + delay, Payload{DeliveryEvent{to, std::move(message)}});
+        deliveries.push(now + delay, Delivery{to, std::move(message)});
       }
       outbox.staged_.clear();
     }
-    result.time = now;
-    obs_(now, proto_);
+    result.time = proto_.done() ? now : max_time;
+    obs_(result.time, proto_);
     result.consensus = proto_.table().has_consensus();
     if (result.consensus) result.winner = proto_.table().consensus_color();
     return result;

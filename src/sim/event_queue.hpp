@@ -4,9 +4,18 @@
 /// A stable discrete-event queue: events pop in (time, insertion order).
 /// The sequence number tie-break makes continuous-engine runs fully
 /// deterministic for a fixed seed even when events collide in time.
+///
+/// Implemented as a hand-rolled implicit 4-ary heap rather than
+/// std::priority_queue: the shallower tree halves the levels touched per
+/// pop (the hot operation in the messaging engine), reserve() removes
+/// reallocation from the hot loop, and pop() moves the payload out
+/// instead of copying heap_.top() — which std::priority_queue cannot do
+/// because top() is const.
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "support/assert.hpp"
@@ -22,9 +31,14 @@ class EventQueue {
     Payload payload;
   };
 
+  /// Pre-allocates storage for `n` events (engines size this to the
+  /// expected steady-state event count before the hot loop starts).
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
   void push(double time, Payload payload) {
     PC_EXPECTS(time >= 0.0);
-    heap_.push(Event{time, next_seq_++, std::move(payload)});
+    heap_.push_back(Event{time, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
   }
 
   bool empty() const noexcept { return heap_.empty(); }
@@ -33,26 +47,63 @@ class EventQueue {
   /// The earliest event time. Requires non-empty.
   double next_time() const {
     PC_EXPECTS(!heap_.empty());
-    return heap_.top().time;
+    return heap_.front().time;
   }
 
-  /// Removes and returns the earliest event. Requires non-empty.
+  /// Removes and returns the earliest event; the payload is moved out,
+  /// never copied. Requires non-empty.
   Event pop() {
     PC_EXPECTS(!heap_.empty());
-    Event e = heap_.top();
-    heap_.pop();
-    return e;
+    Event out = std::move(heap_.front());
+    if (heap_.size() > 1) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return out;
   }
 
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr std::size_t kArity = 4;
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  static bool before(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    Event moving = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(moving, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(moving);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t size = heap_.size();
+    Event moving = std::move(heap_[i]);
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= size) break;
+      const std::size_t last_child =
+          std::min(first_child + kArity, size);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], moving)) break;
+      heap_[i] = std::move(heap_[best]);
+      i = best;
+    }
+    heap_[i] = std::move(moving);
+  }
+
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -20,7 +20,10 @@ namespace plurality {
 
 /// Runs `proto` until done() or until parallel time reaches `max_time`.
 /// The observer fires every `sample_every` time units (and once at the
-/// end). Requires max_time > 0 and sample_every > 0.
+/// end). When the run is cut off by the step budget, result.time reports
+/// `max_time` — the simulated horizon actually reached — not the
+/// (floored) step count over n. Requires max_time > 0 and
+/// sample_every > 0.
 template <AsyncProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_sequential(P& proto, Xoshiro256& rng, double max_time,
                               Obs&& obs = Obs{}, double sample_every = 1.0) {
@@ -36,16 +39,23 @@ AsyncRunResult run_sequential(P& proto, Xoshiro256& rng, double max_time,
 
   AsyncRunResult result;
   std::uint64_t steps = 0;
+  // Countdown to the next observer sample: one decrement per step
+  // instead of a 64-bit modulo in the hot loop.
+  std::uint64_t until_sample = 0;
   while (steps < max_steps && !proto.done()) {
-    if (steps % sample_steps == 0) {
+    if (until_sample == 0) {
       obs(static_cast<double>(steps) / static_cast<double>(n), proto);
+      until_sample = sample_steps;
     }
+    --until_sample;
     const auto u = static_cast<NodeId>(uniform_below(rng, n));
     proto.on_tick(u, rng);
     ++steps;
   }
   result.ticks = steps;
-  result.time = static_cast<double>(steps) / static_cast<double>(n);
+  result.time = proto.done()
+                    ? static_cast<double>(steps) / static_cast<double>(n)
+                    : max_time;
   obs(result.time, proto);
   result.consensus = proto.table().has_consensus();
   if (result.consensus) result.winner = proto.table().consensus_color();

@@ -1,0 +1,254 @@
+#pragma once
+
+/// \file sharded_engine.hpp
+/// A parallel tick engine for big-n asynchronous runs: the node set is
+/// partitioned into T contiguous shards, each driven by its own
+/// xoshiro256 stream (SplitMix64-derived from the engine seed, so a run
+/// is deterministic for a fixed seed and shard count regardless of
+/// thread scheduling).
+///
+/// Time advances in *epochs* of length `epoch_length` (capped by the
+/// next sample boundary). By superposition, the number of ticks a shard
+/// of n_s nodes performs in an epoch of length dt is Poisson(n_s * dt),
+/// and each tick hits a uniform node of the shard. Within an epoch
+/// every shard:
+///   - writes only its own nodes' colors (disjoint regions, no locks),
+///   - reads its own nodes *live* and foreign nodes from the epoch-start
+///     snapshot (at most one epoch stale),
+///   - accumulates a per-color support delta and a changed-node log.
+/// At the epoch barrier the deltas are merged into the shared
+/// OpinionTable (O(changes + colors), see
+/// OpinionTable::merge_shard_deltas), the snapshot absorbs the changes,
+/// and done() is polled; the observer fires at `sample_every`
+/// boundaries as in the other engines.
+///
+/// The foreign-read staleness is the one deliberate deviation from the
+/// exact process; shrinking `epoch_length` shrinks it (at the cost of
+/// more barriers), and the engine equivalence tests pin the
+/// consensus-time agreement statistically.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/seed.hpp"
+#include "sim/concepts.hpp"
+#include "sim/observers.hpp"
+#include "sim/result.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+/// Read view handed to ShardableProtocol::propose: live colors for the
+/// calling shard's own nodes, the epoch-start snapshot for everyone
+/// else.
+class ShardView {
+ public:
+  ShardView(const ColorId* live, const ColorId* snapshot, NodeId lo,
+            NodeId hi) noexcept
+      : live_(live), snapshot_(snapshot), lo_(lo), hi_(hi) {}
+
+  ColorId color(NodeId v) const noexcept {
+    return (v >= lo_ && v < hi_) ? live_[v] : snapshot_[v];
+  }
+
+ private:
+  const ColorId* live_;
+  const ColorId* snapshot_;
+  NodeId lo_;
+  NodeId hi_;
+};
+
+/// A protocol the sharded engine can drive: its tick must be expressible
+/// as a pure color proposal off a read view (no side effects beyond the
+/// returned color), and the engine needs write access to the table for
+/// the epoch merges.
+template <typename P>
+concept ShardableProtocol =
+    AsyncProtocol<P> &&
+    requires(P p, const P cp, NodeId u, const ShardView& view,
+             Xoshiro256& rng) {
+      { cp.propose(u, view, rng) } -> std::convertible_to<ColorId>;
+      { p.mutable_table() } -> std::same_as<OpinionTable&>;
+    };
+
+/// Runs `proto` under Poisson(1) clocks until done() or `max_time`,
+/// spread across `num_shards` threads (0 picks the hardware
+/// concurrency). Deterministic for a fixed (seed, num_shards,
+/// epoch_length) triple. done() is polled at epoch boundaries only, so
+/// a run can overshoot consensus by up to one epoch of ticks; when cut
+/// off by the horizon, result.time reports `max_time`.
+template <ShardableProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
+                           double max_time, Obs&& obs = Obs{},
+                           double sample_every = 1.0,
+                           double epoch_length = 0.25) {
+  PC_EXPECTS(max_time > 0.0);
+  PC_EXPECTS(sample_every > 0.0);
+  PC_EXPECTS(epoch_length > 0.0);
+  const std::uint64_t n = proto.num_nodes();
+  PC_EXPECTS(n >= 1);
+
+  if (num_shards == 0) {
+    num_shards = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const auto shards =
+      static_cast<std::uint64_t>(std::min<std::uint64_t>(num_shards, n));
+  const ColorId num_colors = proto.table().num_colors();
+
+  const auto initial = proto.table().colors();
+  std::vector<ColorId> live(initial.begin(), initial.end());
+  std::vector<ColorId> snapshot = live;
+
+  struct Shard {
+    NodeId lo = 0;
+    NodeId hi = 0;
+    Xoshiro256 rng{0};
+    std::vector<NodeId> changed;
+    std::vector<std::int64_t> delta;
+    std::uint64_t ticks = 0;
+    std::exception_ptr error;
+  };
+  const SeedSequence streams(seed);
+  std::vector<Shard> pool(shards);
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    pool[s].lo = static_cast<NodeId>(n * s / shards);
+    pool[s].hi = static_cast<NodeId>(n * (s + 1) / shards);
+    pool[s].rng = streams.make_rng(s);
+    pool[s].delta.assign(num_colors, 0);
+  }
+
+  const auto run_epoch_in = [&](Shard& shard, double dt) {
+    try {
+      const std::uint64_t n_s = shard.hi - shard.lo;
+      const std::uint64_t ticks =
+          poisson(shard.rng, static_cast<double>(n_s) * dt);
+      const ShardView view(live.data(), snapshot.data(), shard.lo, shard.hi);
+      ColorId* colors = live.data();
+      for (std::uint64_t t = 0; t < ticks; ++t) {
+        const auto u = static_cast<NodeId>(
+            shard.lo + uniform_below(shard.rng, n_s));
+        const ColorId next = proto.propose(u, view, shard.rng);
+        const ColorId old = colors[u];
+        if (next != old) {
+          colors[u] = next;
+          --shard.delta[old];
+          ++shard.delta[next];
+          shard.changed.push_back(u);
+        }
+      }
+      shard.ticks += ticks;
+    } catch (...) {
+      shard.error = std::current_exception();
+    }
+  };
+
+  // Persistent worker pool: one thread per shard for the whole run,
+  // synchronized at epoch barriers via a generation counter — epochs
+  // are short (default 0.25 time units), so spawning threads per epoch
+  // would dominate the per-tick cost.
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  double epoch_dt = 0.0;
+  std::uint64_t pending = 0;
+  bool stopping = false;
+
+  std::vector<std::thread> workers;
+  if (shards > 1) {
+    workers.reserve(shards);
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      workers.emplace_back([&, shard = &pool[s]] {
+        std::uint64_t seen = 0;
+        for (;;) {
+          double dt = 0.0;
+          {
+            std::unique_lock lock(mutex);
+            work_cv.wait(lock,
+                         [&] { return stopping || generation != seen; });
+            if (stopping) return;
+            seen = generation;
+            dt = epoch_dt;
+          }
+          run_epoch_in(*shard, dt);  // never throws; errors land in *shard
+          {
+            std::lock_guard lock(mutex);
+            if (--pending == 0) done_cv.notify_one();
+          }
+        }
+      });
+    }
+  }
+  const auto stop_workers = [&]() noexcept {
+    if (workers.empty()) return;
+    {
+      std::lock_guard lock(mutex);
+      stopping = true;
+    }
+    work_cv.notify_all();
+    for (auto& worker : workers) worker.join();
+    workers.clear();
+  };
+
+  AsyncRunResult result;
+  const auto run_epoch = [&](double dt) {
+    if (shards == 1) {
+      run_epoch_in(pool[0], dt);
+    } else {
+      {
+        std::lock_guard lock(mutex);
+        epoch_dt = dt;
+        pending = shards;
+        ++generation;
+      }
+      work_cv.notify_all();
+      std::unique_lock lock(mutex);
+      done_cv.wait(lock, [&] { return pending == 0; });
+    }
+    for (auto& shard : pool) {
+      if (shard.error) std::rethrow_exception(shard.error);
+    }
+    OpinionTable& table = proto.mutable_table();
+    for (auto& shard : pool) {
+      table.merge_shard_deltas(shard.changed, live, shard.delta);
+      for (const NodeId u : shard.changed) snapshot[u] = live[u];
+      shard.changed.clear();
+      shard.delta.assign(num_colors, 0);
+      result.ticks += shard.ticks;
+      shard.ticks = 0;
+    }
+  };
+
+  try {
+    double now = 0.0;
+    obs(now, proto);
+    while (now < max_time && !proto.done()) {
+      const double sample_end = std::min(now + sample_every, max_time);
+      while (now < sample_end && !proto.done()) {
+        const double dt = std::min(epoch_length, sample_end - now);
+        if (!(dt > 0.0)) break;  // floating-point residue at the boundary
+        run_epoch(dt);
+        now += dt;
+      }
+      if (now < max_time && !proto.done()) obs(now, proto);
+    }
+    result.time = proto.done() ? now : max_time;
+    obs(result.time, proto);
+  } catch (...) {
+    stop_workers();
+    throw;
+  }
+  stop_workers();
+  result.consensus = proto.table().has_consensus();
+  if (result.consensus) result.winner = proto.table().consensus_color();
+  return result;
+}
+
+}  // namespace plurality

@@ -1,6 +1,7 @@
-// Tests for the three engine drivers: synchronous rounds, sequential
-// asynchronous steps, continuous Poisson clocks, and the messaging
-// driver with delayed deliveries.
+// Tests for the engine drivers: synchronous rounds, sequential
+// asynchronous steps, continuous Poisson clocks (both the superposition
+// and the reference heap simulation), and the messaging driver with
+// delayed deliveries.
 
 #include <gtest/gtest.h>
 
@@ -158,6 +159,151 @@ TEST(ContinuousEngine, TimeIsMonotoneInObserver) {
       },
       2.0);
   EXPECT_GT(last, 0.0);
+}
+
+TEST(SequentialEngine, HorizonCutoffReportsMaxTime) {
+  // A non-integer max_time * n used to report floor(max_time*n)/n; the
+  // horizon actually simulated is max_time.
+  TickCounter proto(64);
+  Xoshiro256 rng(16);
+  const auto result = run_sequential(proto, rng, 10.3);
+  EXPECT_DOUBLE_EQ(result.time, 10.3);
+  EXPECT_EQ(result.ticks, static_cast<std::uint64_t>(10.3 * 64.0));
+}
+
+TEST(ContinuousEngine, HorizonCutoffReportsMaxTime) {
+  // The run is cut off by the horizon: result.time is the simulated
+  // horizon, not the timestamp of the last processed tick.
+  TickCounter proto(32);
+  Xoshiro256 rng(17);
+  const auto result = run_continuous(proto, rng, 12.5);
+  EXPECT_DOUBLE_EQ(result.time, 12.5);
+  TickCounter heap_proto(32);
+  Xoshiro256 heap_rng(17);
+  const auto heap_result = run_continuous_heap(heap_proto, heap_rng, 12.5);
+  EXPECT_DOUBLE_EQ(heap_result.time, 12.5);
+}
+
+TEST(ContinuousEngine, ConsensusStopReportsEventTimeNotHorizon) {
+  const CompleteGraph g(64);
+  Xoshiro256 rng(18);
+  VoterAsync proto(g, assign_two_colors(64, 60, rng));
+  const auto result = run_continuous(proto, rng, 1e6);
+  ASSERT_TRUE(result.consensus);
+  EXPECT_LT(result.time, 1e6);
+  EXPECT_GT(result.time, 0.0);
+}
+
+TEST(ContinuousEngine, SuperpositionIsDeterministicForFixedSeed) {
+  const CompleteGraph g(256);
+  const auto run_once = [&] {
+    Xoshiro256 rng(99);
+    TwoChoicesAsync proto(g, assign_two_colors(256, 192, rng));
+    return run_continuous(proto, rng, 1e6);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_DOUBLE_EQ(a.time, b.time);
+  EXPECT_EQ(a.consensus, b.consensus);
+  EXPECT_EQ(a.winner, b.winner);
+}
+
+TEST(HeapEngine, TickCountConcentratesAroundNT) {
+  TickCounter proto(256);
+  Xoshiro256 rng(19);
+  const double horizon = 50.0;
+  const auto result = run_continuous_heap(proto, rng, horizon);
+  // Total ticks ~ Poisson(n * t): mean 12800, sd ~ 113; allow 6 sigma.
+  EXPECT_NEAR(static_cast<double>(result.ticks), 256.0 * horizon, 700.0);
+  EXPECT_DOUBLE_EQ(result.time, horizon);
+}
+
+TEST(HeapEngine, StopsOnConsensus) {
+  const CompleteGraph g(64);
+  Xoshiro256 rng(20);
+  TwoChoicesAsync proto(g, assign_two_colors(64, 56, rng));
+  const auto result = run_continuous_heap(proto, rng, 1e6);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, 0u);
+  EXPECT_LT(result.time, 1e6);
+}
+
+/// Messaging protocol that posts a fixed fan of delayed messages on the
+/// very first tick and records the order deliveries come back in; pins
+/// down the engine's (delivery time, post order) sequencing exactly.
+class MessageOrderRecorder {
+ public:
+  using Message = int;
+
+  explicit MessageOrderRecorder(std::uint64_t n)
+      : table_(make_colors(n), 2) {}
+
+  void on_tick(NodeId, Xoshiro256&, double now, Outbox<int>& out) {
+    if (posted_) return;
+    posted_ = true;
+    post_time_ = now;
+    out.post(1, 5.0, 0);
+    out.post(1, 1.0, 1);
+    out.post(1, 1.0, 2);  // exact tie with message 1: post order decides
+    out.post(1, 3.0, 3);
+  }
+
+  void on_message(NodeId, const int& m, Xoshiro256&, double now,
+                  Outbox<int>&) {
+    received_.push_back(m);
+    delivery_times_.push_back(now);
+  }
+
+  std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
+  bool done() const noexcept { return received_.size() == 4; }
+  const OpinionTable& table() const noexcept { return table_; }
+
+  double post_time() const noexcept { return post_time_; }
+  const std::vector<int>& received() const noexcept { return received_; }
+  const std::vector<double>& delivery_times() const noexcept {
+    return delivery_times_;
+  }
+
+ private:
+  static std::vector<ColorId> make_colors(std::uint64_t n) {
+    std::vector<ColorId> c(n, 0);
+    c[0] = 1;
+    return c;
+  }
+  OpinionTable table_;
+  std::vector<int> received_;
+  std::vector<double> delivery_times_;
+  double post_time_ = 0.0;
+  bool posted_ = false;
+};
+
+static_assert(MessagingProtocol<MessageOrderRecorder>);
+
+TEST(MessagingEngine, DeliveriesArriveInTimeThenPostOrder) {
+  MessageOrderRecorder proto(8);
+  Xoshiro256 rng(21);
+  const auto result = run_continuous_messaging(proto, rng, 1e4);
+  ASSERT_EQ(proto.received().size(), 4u);
+  // Delays 5, 1, 1, 3 posted in ids 0..3: arrival must be 1, 2 (tie in
+  // post order), 3, 0.
+  EXPECT_EQ(proto.received(), (std::vector<int>{1, 2, 3, 0}));
+  const double t0 = proto.post_time();
+  EXPECT_DOUBLE_EQ(proto.delivery_times()[0], t0 + 1.0);
+  EXPECT_DOUBLE_EQ(proto.delivery_times()[1], t0 + 1.0);
+  EXPECT_DOUBLE_EQ(proto.delivery_times()[2], t0 + 3.0);
+  EXPECT_DOUBLE_EQ(proto.delivery_times()[3], t0 + 5.0);
+  // done() fired on the last delivery, so its time is the reported one.
+  EXPECT_DOUBLE_EQ(result.time, t0 + 5.0);
+}
+
+TEST(MessagingEngine, HorizonCutoffReportsMaxTime) {
+  MessageOrderRecorder proto(8);
+  Xoshiro256 rng(22);
+  // Horizon shorter than the longest delay: the run is cut off.
+  const auto result = run_continuous_messaging(proto, rng, 2.0);
+  EXPECT_DOUBLE_EQ(result.time, 2.0);
+  EXPECT_LT(proto.received().size(), 4u);
 }
 
 TEST(MessagingEngine, DelayedTwoChoicesReachesConsensus) {

@@ -1,9 +1,17 @@
 // The sequential model (uniform node per step, time = steps/n) and the
 // continuous Poisson-clock model yield the same run-time distribution
-// (paper §1, ref [4]). These tests verify the equivalence empirically —
-// the unit-test version of experiment E9.
+// (paper §1, ref [4]); the continuous model's two exact simulations
+// (n-timer heap, superposition sampling) and the sharded engine must
+// agree with each other as well. These tests verify the equivalences
+// empirically — the unit-test version of experiment E9 plus the engine
+// equivalence gate of ISSUE 2 (moment comparison and a two-sample
+// Kolmogorov–Smirnov statistic with generous thresholds).
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
 
 #include "core/two_choices.hpp"
 #include "core/voter.hpp"
@@ -12,13 +20,16 @@
 #include "rng/seed.hpp"
 #include "sim/continuous_engine.hpp"
 #include "sim/sequential_engine.hpp"
+#include "sim/sharded_engine.hpp"
 #include "stats/quantiles.hpp"
 
 namespace plurality {
 namespace {
 
+enum class Engine { kSequential, kHeap, kSuperposition, kSharded };
+
 template <typename MakeProto>
-std::vector<double> consensus_times(MakeProto&& make_proto, bool sequential,
+std::vector<double> consensus_times(MakeProto&& make_proto, Engine engine,
                                     std::uint64_t reps,
                                     std::uint64_t seed_base) {
   const SeedSequence seeds(seed_base);
@@ -27,12 +38,57 @@ std::vector<double> consensus_times(MakeProto&& make_proto, bool sequential,
   for (std::uint64_t rep = 0; rep < reps; ++rep) {
     Xoshiro256 rng = seeds.make_rng(rep);
     auto proto = make_proto(rng);
-    const auto result = sequential ? run_sequential(proto, rng, 1e6)
-                                   : run_continuous(proto, rng, 1e6);
+    AsyncRunResult result;
+    switch (engine) {
+      case Engine::kSequential:
+        result = run_sequential(proto, rng, 1e6);
+        break;
+      case Engine::kHeap:
+        result = run_continuous_heap(proto, rng, 1e6);
+        break;
+      case Engine::kSuperposition:
+        result = run_continuous(proto, rng, 1e6);
+        break;
+      case Engine::kSharded:
+        // 4 shards, epoch 0.25: small enough that the one-epoch foreign
+        // read staleness cannot distort the consensus time visibly.
+        result = run_sharded(proto, rng(), 4, 1e6, NullObserver{},
+                             /*sample_every=*/1.0, /*epoch_length=*/0.25);
+        break;
+    }
     EXPECT_TRUE(result.consensus);
     times.push_back(result.time);
   }
   return times;
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic sup |F_a - F_b|. Both ECDFs
+/// are evaluated after consuming *all* occurrences of each distinct
+/// value — engines that quantize times (sharded epochs, sequential
+/// steps) produce exact cross-sample ties, which must not inflate D
+/// (two identical samples have D = 0).
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double value = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == value) ++i;
+    while (j < b.size() && b[j] == value) ++j;
+    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+TEST(EngineEquivalence, KsStatisticHandlesTiesAndDisjointSupports) {
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 1.0, 2.0}, {1.0, 2.0, 2.0}),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 2.0}, {5.0, 6.0}), 1.0);
 }
 
 TEST(ModelEquivalence, TwoChoicesMeanTimesAgree) {
@@ -43,8 +99,8 @@ TEST(ModelEquivalence, TwoChoicesMeanTimesAgree) {
         g, assign_two_colors(n, (n * 3) / 4, rng));
   };
   constexpr std::uint64_t kReps = 30;
-  const auto seq = consensus_times(make, true, kReps, 10);
-  const auto cont = consensus_times(make, false, kReps, 20);
+  const auto seq = consensus_times(make, Engine::kSequential, kReps, 10);
+  const auto cont = consensus_times(make, Engine::kSuperposition, kReps, 20);
   const Summary seq_summary = summarize(seq);
   const Summary cont_summary = summarize(cont);
   // Means agree within the sum of the 95% confidence half-widths plus
@@ -61,14 +117,47 @@ TEST(ModelEquivalence, VoterMedianTimesAgree) {
     return VoterAsync<CompleteGraph>(g, assign_two_colors(n, n / 2, rng));
   };
   constexpr std::uint64_t kReps = 30;
-  const auto seq = consensus_times(make, true, kReps, 30);
-  const auto cont = consensus_times(make, false, kReps, 40);
+  const auto seq = consensus_times(make, Engine::kSequential, kReps, 30);
+  const auto cont = consensus_times(make, Engine::kSuperposition, kReps, 40);
   // Voter on the clique takes Theta(n) time with heavy tails; compare
   // medians with a generous multiplicative band.
   const double med_seq = quantile(seq, 0.5);
   const double med_cont = quantile(cont, 0.5);
   EXPECT_LT(med_seq, 3.0 * med_cont);
   EXPECT_LT(med_cont, 3.0 * med_seq);
+}
+
+TEST(EngineEquivalence, HeapSuperpositionShardedAgreeOnE1Runs) {
+  // E1-style workload: Two-Choices on the clique, c1 = 3n/4. All three
+  // continuous engines sample the same process, so the consensus-time
+  // distributions must coincide up to sampling noise.
+  const std::uint64_t n = 512;
+  const CompleteGraph g(n);
+  auto make = [&](Xoshiro256& rng) {
+    return TwoChoicesAsync<CompleteGraph>(
+        g, assign_two_colors(n, (n * 3) / 4, rng));
+  };
+  constexpr std::uint64_t kReps = 40;
+  const auto heap = consensus_times(make, Engine::kHeap, kReps, 50);
+  const auto sup = consensus_times(make, Engine::kSuperposition, kReps, 60);
+  const auto shard = consensus_times(make, Engine::kSharded, kReps, 70);
+
+  // Moment check: pairwise mean agreement within summed 95% CIs + slack.
+  const Summary sh = summarize(heap);
+  const Summary ss = summarize(sup);
+  const Summary sd = summarize(shard);
+  EXPECT_NEAR(sh.mean, ss.mean,
+              sh.ci95_halfwidth + ss.ci95_halfwidth + 1.0);
+  EXPECT_NEAR(sh.mean, sd.mean,
+              sh.ci95_halfwidth + sd.ci95_halfwidth + 1.0);
+  EXPECT_NEAR(ss.mean, sd.mean,
+              ss.ci95_halfwidth + sd.ci95_halfwidth + 1.0);
+
+  // Distribution check: two-sample KS below the alpha ~ 0.001 critical
+  // value for 40-vs-40 samples (~0.44), with a little headroom.
+  EXPECT_LT(ks_statistic(heap, sup), 0.45);
+  EXPECT_LT(ks_statistic(heap, shard), 0.45);
+  EXPECT_LT(ks_statistic(sup, shard), 0.45);
 }
 
 }  // namespace

@@ -1,0 +1,204 @@
+// Tests for the sharded tick engine: shard-count-independent
+// correctness, fixed-seed determinism, the OpinionTable bulk merge it
+// relies on, and the --engine dispatch (including the fallback for
+// protocols that are not shardable).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/three_majority.hpp"
+#include "core/two_choices.hpp"
+#include "core/voter.hpp"
+#include "graph/complete.hpp"
+#include "opinion/assignment.hpp"
+#include "sim/engine_select.hpp"
+#include "sim/sharded_engine.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+namespace {
+
+static_assert(ShardableProtocol<VoterAsync<CompleteGraph>>);
+static_assert(ShardableProtocol<TwoChoicesAsync<CompleteGraph>>);
+static_assert(ShardableProtocol<ThreeMajorityAsync<CompleteGraph>>);
+
+/// Ticks are counted but never change colors; not shardable (no
+/// propose), used to pin the engine-select fallback.
+class CountOnly {
+ public:
+  explicit CountOnly(std::uint64_t n) : table_(make_colors(n), 2) {}
+  void on_tick(NodeId, Xoshiro256&) { ++ticks_; }
+  std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
+  bool done() const noexcept { return false; }
+  const OpinionTable& table() const noexcept { return table_; }
+  std::uint64_t ticks() const noexcept { return ticks_; }
+
+ private:
+  static std::vector<ColorId> make_colors(std::uint64_t n) {
+    std::vector<ColorId> c(n, 0);
+    c[0] = 1;
+    return c;
+  }
+  OpinionTable table_;
+  std::uint64_t ticks_ = 0;
+};
+
+static_assert(!ShardableProtocol<CountOnly>);
+
+TEST(OpinionTableMerge, AppliesChangesAndDeltasInBulk) {
+  OpinionTable table({0, 0, 1, 1, 2}, 3);
+  // Recolor node 0 -> 1 and node 4 -> 1 (color 2 dies out).
+  std::vector<ColorId> live = {1, 0, 1, 1, 1};
+  const std::vector<NodeId> changed = {0, 4};
+  const std::vector<std::int64_t> delta = {-1, +2, -1};
+  table.merge_shard_deltas(changed, live, delta);
+  EXPECT_EQ(table.color(0), 1u);
+  EXPECT_EQ(table.color(4), 1u);
+  EXPECT_EQ(table.support(0), 1u);
+  EXPECT_EQ(table.support(1), 4u);
+  EXPECT_EQ(table.support(2), 0u);
+  EXPECT_EQ(table.surviving_colors(), 2u);
+  EXPECT_EQ(table.plurality_color(), 1u);
+}
+
+TEST(OpinionTableMerge, DuplicateChangedEntriesAreHarmless) {
+  OpinionTable table({0, 1}, 2);
+  std::vector<ColorId> live = {1, 1};
+  const std::vector<NodeId> changed = {0, 0, 0};
+  const std::vector<std::int64_t> delta = {-1, +1};
+  table.merge_shard_deltas(changed, live, delta);
+  EXPECT_TRUE(table.has_consensus());
+  EXPECT_EQ(table.consensus_color(), 1u);
+}
+
+TEST(OpinionTableMerge, RejectsUnbalancedDeltas) {
+  OpinionTable table({0, 1}, 2);
+  std::vector<ColorId> live = {0, 1};
+  const std::vector<NodeId> changed = {};
+  const std::vector<std::int64_t> delta = {+1, 0};
+  EXPECT_THROW(table.merge_shard_deltas(changed, live, delta),
+               ContractViolation);
+}
+
+TEST(ShardedEngine, ReachesConsensusAndKeepsTableConsistent) {
+  const std::uint64_t n = 512;
+  const CompleteGraph g(n);
+  Xoshiro256 rng(1);
+  TwoChoicesAsync proto(g, assign_two_colors(n, (n * 7) / 8, rng));
+  const auto result = run_sharded(proto, /*seed=*/123, /*num_shards=*/4,
+                                  /*max_time=*/1e6);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, 0u);
+  EXPECT_GT(result.ticks, 0u);
+  std::uint64_t total = 0;
+  for (const auto s : proto.table().supports()) total += s;
+  EXPECT_EQ(total, n);
+}
+
+TEST(ShardedEngine, DeterministicForFixedSeedAndShardCount) {
+  const std::uint64_t n = 256;
+  const CompleteGraph g(n);
+  const auto run_once = [&] {
+    Xoshiro256 rng(7);
+    TwoChoicesAsync proto(g, assign_two_colors(n, (n * 3) / 4, rng));
+    return run_sharded(proto, /*seed=*/42, /*num_shards=*/3, 1e6);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_DOUBLE_EQ(a.time, b.time);
+  EXPECT_EQ(a.consensus, b.consensus);
+  EXPECT_EQ(a.winner, b.winner);
+}
+
+TEST(ShardedEngine, ShardCountClampsToNodes) {
+  const std::uint64_t n = 8;
+  const CompleteGraph g(n);
+  Xoshiro256 rng(2);
+  VoterAsync proto(g, assign_two_colors(n, 7, rng));
+  // More shards than nodes must still run (shards clamp to n).
+  const auto result = run_sharded(proto, /*seed=*/5, /*num_shards=*/32, 1e6);
+  EXPECT_TRUE(result.consensus);
+}
+
+TEST(ShardedEngine, SingleShardMatchesProcessStatistics) {
+  // One shard, epoch 1.0: total ticks over a fixed horizon are
+  // Poisson(n * t). Mean 6400, sd ~ 80; allow 6 sigma.
+  const std::uint64_t n = 128;
+  const CompleteGraph g(n);
+  Xoshiro256 rng(3);
+  VoterAsync proto(g, assign_equal(n, 64, rng));
+  const double horizon = 50.0;
+  const auto result =
+      run_sharded(proto, /*seed=*/9, /*num_shards=*/1, horizon);
+  EXPECT_NEAR(static_cast<double>(result.ticks),
+              static_cast<double>(n) * horizon, 480.0);
+  EXPECT_DOUBLE_EQ(result.time, horizon);
+}
+
+TEST(ShardedEngine, ObserverFiresAtSampleBoundaries) {
+  const std::uint64_t n = 64;
+  const CompleteGraph g(n);
+  Xoshiro256 rng(4);
+  VoterAsync proto(g, assign_equal(n, 64, rng));
+  std::vector<double> seen;
+  run_sharded(
+      proto, /*seed=*/11, /*num_shards=*/2, 4.0,
+      [&](double t, const VoterAsync<CompleteGraph>&) { seen.push_back(t); },
+      1.0);
+  ASSERT_GE(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen.front(), 0.0);
+  EXPECT_DOUBLE_EQ(seen.back(), 4.0);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GT(seen[i], seen[i - 1]);
+  }
+}
+
+TEST(ShardedEngine, Contracts) {
+  const CompleteGraph g(4);
+  Xoshiro256 rng(5);
+  VoterAsync proto(g, assign_equal(4, 2, rng));
+  EXPECT_THROW(run_sharded(proto, 1, 1, 0.0), ContractViolation);
+  EXPECT_THROW(run_sharded(proto, 1, 1, 1.0, NullObserver{}, 0.0),
+               ContractViolation);
+}
+
+TEST(EngineSelect, ParsesAllEngineNamesAndRejectsUnknown) {
+  EXPECT_EQ(parse_engine_kind("sequential"), EngineKind::kSequential);
+  EXPECT_EQ(parse_engine_kind("heap"), EngineKind::kHeap);
+  EXPECT_EQ(parse_engine_kind("superposition"), EngineKind::kSuperposition);
+  EXPECT_EQ(parse_engine_kind("sharded"), EngineKind::kSharded);
+  EXPECT_THROW(parse_engine_kind("warp-drive"), ContractViolation);
+  EXPECT_STREQ(engine_kind_name(EngineKind::kSharded), "sharded");
+}
+
+TEST(EngineSelect, DispatchRunsEveryEngine) {
+  const std::uint64_t n = 128;
+  const CompleteGraph g(n);
+  for (const EngineKind kind :
+       {EngineKind::kSequential, EngineKind::kHeap,
+        EngineKind::kSuperposition, EngineKind::kSharded}) {
+    Xoshiro256 rng(6);
+    TwoChoicesAsync proto(g, assign_two_colors(n, (n * 7) / 8, rng));
+    const auto result = run_async_engine(kind, proto, rng, /*seed=*/13,
+                                         /*shards=*/2, 1e6);
+    EXPECT_TRUE(result.consensus) << engine_kind_name(kind);
+    EXPECT_EQ(result.winner, 0u) << engine_kind_name(kind);
+  }
+}
+
+TEST(EngineSelect, ShardedFallsBackForNonShardableProtocols) {
+  CountOnly proto(32);
+  Xoshiro256 rng(8);
+  const auto result = run_async_engine(EngineKind::kSharded, proto, rng,
+                                       /*seed=*/1, /*shards=*/4, 10.0);
+  // Fallback superposition engine drove the protocol to the horizon.
+  EXPECT_DOUBLE_EQ(result.time, 10.0);
+  EXPECT_EQ(result.ticks, proto.ticks());
+  EXPECT_GT(proto.ticks(), 0u);
+}
+
+}  // namespace
+}  // namespace plurality

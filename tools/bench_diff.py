@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json wall-clock times against the checked-in baselines.
+
+Usage: bench_diff.py BASELINE_DIR NEW_DIR [--ratio R] [--min-seconds S]
+                     [--normalize]
+
+Compares each experiment's wall_clock_seconds in NEW_DIR against the
+record of the same name in BASELINE_DIR. The tolerance is deliberately
+generous (default: fail only on > 2x regressions). With --normalize the
+per-experiment ratios are divided by their median first, which cancels
+a uniformly slower/faster host (e.g. a CI runner vs the dev box that
+recorded the baselines) and flags only experiments that regressed
+*relative to the rest of the suite*. Records whose baseline is below
+--min-seconds are reported but never fail (they are timer noise).
+Missing or failed (exit_code != 0) records always fail.
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+
+def load_records(directory):
+    records = {}
+    for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
+        with open(path) as f:
+            rec = json.load(f)
+        records[rec["experiment"]] = rec
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir")
+    parser.add_argument("new_dir")
+    parser.add_argument("--ratio", type=float, default=2.0,
+                        help="fail when new wall clock exceeds baseline "
+                             "by more than this factor (default 2.0)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="baselines below this are never failed "
+                             "(timer noise; default 0.05)")
+    parser.add_argument("--normalize", action="store_true",
+                        help="divide ratios by their median to cancel "
+                             "host speed differences before gating")
+    parser.add_argument("--max-raw-ratio", type=float, default=10.0,
+                        help="backstop: fail on raw (unnormalized) ratios "
+                             "above this even under --normalize, so a "
+                             "broad regression cannot hide inside the "
+                             "median it shifts (default 10.0)")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline_dir)
+    new = load_records(args.new_dir)
+    if not baseline:
+        print(f"error: no BENCH_*.json records in {args.baseline_dir}")
+        return 1
+
+    failures = []
+    comparable = {}  # name -> (base_wall, new_wall, ratio)
+    for name, base_rec in sorted(baseline.items()):
+        new_rec = new.get(name)
+        if new_rec is None:
+            failures.append(f"{name}: record missing from {args.new_dir}")
+            continue
+        if new_rec.get("exit_code", 1) != 0:
+            failures.append(f"{name}: run failed "
+                            f"(exit_code={new_rec.get('exit_code')})")
+            continue
+        base_wall = base_rec["wall_clock_seconds"]
+        new_wall = new_rec["wall_clock_seconds"]
+        ratio = new_wall / base_wall if base_wall > 0 else float("inf")
+        comparable[name] = (base_wall, new_wall, ratio)
+
+    sizable = {name: entry for name, entry in comparable.items()
+               if entry[0] >= args.min_seconds}
+    host_factor = 1.0
+    if args.normalize and sizable:
+        host_factor = statistics.median(r for _, _, r in sizable.values())
+        print(f"host speed factor (median ratio): {host_factor:.2f}x")
+
+    for name, (base_wall, new_wall, ratio) in sorted(comparable.items()):
+        adjusted = ratio / host_factor
+        line = (f"{name}: baseline {base_wall:.3f}s -> new {new_wall:.3f}s "
+                f"({ratio:.2f}x raw, {adjusted:.2f}x adjusted)")
+        if name not in sizable:
+            print(f"  skip  {line}  [baseline below --min-seconds]")
+        elif adjusted > args.ratio:
+            print(f"  FAIL  {line}  [> {args.ratio:.1f}x]")
+            failures.append(f"{name}: {adjusted:.2f}x regression")
+        elif ratio > args.max_raw_ratio:
+            print(f"  FAIL  {line}  [raw > {args.max_raw_ratio:.1f}x]")
+            failures.append(f"{name}: {ratio:.2f}x raw regression")
+        else:
+            print(f"  ok    {line}")
+
+    extra = sorted(set(new) - set(baseline))
+    for name in extra:
+        print(f"  note  {name}: new experiment with no baseline")
+
+    if failures:
+        print(f"\n{len(failures)} bench regression(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno bench regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

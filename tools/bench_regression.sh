@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Reduced-scale bench snapshot: runs every registered experiment with
+# the same per-experiment overrides the checked-in baselines under
+# bench/results/ were produced with, writing one BENCH_<name>.json per
+# experiment into OUT_DIR. Pair with tools/bench_diff.py to catch
+# wall-clock regressions:
+#
+#   tools/bench_regression.sh build/plurality_exp /tmp/bench_now
+#   tools/bench_diff.py bench/results /tmp/bench_now
+#
+# To refresh the baselines themselves, point OUT_DIR at bench/results.
+
+set -euo pipefail
+
+BIN=${1:-build/plurality_exp}
+OUT_DIR=${2:-bench_snapshot}
+
+mkdir -p "$OUT_DIR"
+
+run() { "$BIN" --out-dir="$OUT_DIR" --csv "$@" > /dev/null; }
+
+run --exp=async_main           --reps=2 --k=4 --max_n=8192 --n=4096
+run --exp=bias_threshold       --reps=4 --n=4096
+run --exp=clock_skew           --reps=2 --n=1024
+run --exp=crash_faults         --reps=2 --n=1024
+run --exp=delta_ablation       --reps=2 --n=1024
+run --exp=endgame              --reps=3 --max_n=8192 --n=4096
+# Scale keeps this baseline above bench_diff's --min-seconds floor so
+# the M1b/M1c engine comparison is actually gated in CI.
+run --exp=microbench_engines   --reps=2 --iters=200000 --n=4096 --m1c_iters=2000000
+run --exp=microbench_rng       --reps=2 --iters=100000
+run --exp=model_equivalence    --reps=3 --n=1024
+run --exp=one_extra_bit        --reps=2 --k=8 --max_k=16 --n=16384
+run --exp=quadratic_growth     --reps=2 --n=4096
+run --exp=response_delays      --reps=2 --n=1024
+run --exp=sync_gadget_ablation --reps=2 --max_n=8192
+run --exp=tick_concentration   --reps=2 --max_n=4096 --t=8
+run --exp=topologies           --reps=2 --horizon=200 --n=1024
+run --exp=two_choices_lower_bound --reps=2 --max_k=16 --n=4096
+run --exp=two_choices_scaling  --reps=2 --max_n=4096
+
+echo "wrote $(ls "$OUT_DIR"/BENCH_*.json | wc -l) records to $OUT_DIR"
