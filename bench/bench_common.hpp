@@ -44,6 +44,40 @@ inline void warn_sharded_fallback_once() {
   }
 }
 
+/// Once per process: a messaging (delayed-response) run was asked to
+/// use an engine without a delivery queue.
+inline void warn_messaging_engine_once() {
+  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
+  if (!warned.test_and_set()) {
+    std::cerr << "warning: delayed-response runs require the messaging "
+                 "driver; ignoring --engine= and running on the "
+                 "superposition-based delivery engine\n";
+  }
+}
+
+/// Runs one *messaging* protocol instance under the given latency
+/// model. Messaging protocols always ride the superposition-based
+/// delivery driver (the only engine with a message queue); any other
+/// --engine= request falls back to it with a once-per-process warning,
+/// and the record's params.engine_effective says "superposition" so the
+/// JSON stays truthful. The latency draws come from `rng` via the
+/// driver (see continuous_engine.hpp); `model` must outlive the run.
+template <MessagingProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_messaging(const ExperimentContext& ctx, P& proto,
+                             const LatencyModel& model, Xoshiro256& rng,
+                             double max_time, Obs&& obs = Obs{},
+                             double sample_every = 1.0) {
+  if (!ctx.engine.empty() &&
+      parse_engine_kind(ctx.engine) != EngineKind::kSuperposition) {
+    warn_messaging_engine_once();
+  }
+  ctx.note_effective_engine(
+      engine_kind_name(EngineKind::kSuperposition));
+  ctx.note_effective_latency(model.name());
+  return run_continuous_messaging(proto, model, rng, max_time,
+                                  std::forward<Obs>(obs), sample_every);
+}
+
 /// Runs one protocol instance on the engine selected by --engine=
 /// (default: `experiment_default`, preserving each experiment's
 /// historical model). The sharded engine derives its per-shard streams

@@ -69,6 +69,12 @@ const ExperimentRegistrar kRegistrar{
     "bias_threshold",
     "E3 (S1.1): bias O(sqrt n) lets a minority win with constant "
     "probability; bias z*sqrt(n log n) makes the plurality win whp",
+    "Sweeps the initial bias c1-c2 of a two-color clique instance "
+    "through multiples of sqrt(n) and sqrt(n log n) and measures how "
+    "often color 1 wins under sync Two-Choices, bracketing the paper's "
+    "bias threshold from both sides. Records `c1_win_rate` per bias "
+    "multiple (many reps — the measurement is a probability). "
+    "Overrides: --n=.",
     /*default_reps=*/60, run_exp};
 
 }  // namespace

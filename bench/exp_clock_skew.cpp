@@ -92,6 +92,13 @@ const ExperimentRegistrar kRegistrar{
     "clock_skew",
     "B1 (robustness): async OneExtraBit under log-normal and two-speed "
     "clock-rate heterogeneity; strong skew degrades weak synchronicity",
+    "Robustness probe outside the paper's identical-Poisson-clock "
+    "assumption: runs async OneExtraBit with per-node clock rates drawn "
+    "log-normal (sweeping sigma) and from a two-speed fast/slow mix, "
+    "via the heterogeneous-rate engine. Records `time_under_skew` and "
+    "`win_under_skew` per skew setting; the interesting regime is where "
+    "the Sync Gadget's weak synchronicity starts to crack. Overrides: "
+    "--n=.",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

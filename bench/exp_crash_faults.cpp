@@ -88,6 +88,13 @@ const ExperimentRegistrar kRegistrar{
     "crash_faults",
     "B2 (robustness): live agreement among survivors under crash-stop "
     "faults, async Two-Choices vs the phased protocol",
+    "Robustness probe: crashes a sweep of node fractions at tick "
+    "--crash_tick= (crashed nodes stop ticking and answering) and "
+    "measures whether the survivors still agree, for plain async "
+    "Two-Choices and the phased OneExtraBit protocol. Records "
+    "`live_agreement` (fraction of runs where all live nodes share one "
+    "color) per crash fraction and protocol. Overrides: --n=, "
+    "--crash_tick=.",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

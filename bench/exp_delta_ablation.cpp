@@ -82,6 +82,12 @@ const ExperimentRegistrar kRegistrar{
     "delta_ablation",
     "A1 (ablation): sweep the do-nothing block length Delta — too small "
     "breaks weak synchronicity, too large wastes schedule budget",
+    "Ablation of the schedule's do-nothing block length: scales Delta "
+    "by multiples from well below to well above the theory value and "
+    "runs async OneExtraBit at each setting. Records "
+    "`time_vs_delta_mult` and `win_vs_delta_mult` — the U-shape "
+    "(failures at small Delta, wasted time at large Delta) is the "
+    "claim. Overrides: --n=.",
     /*default_reps=*/8, run_exp};
 
 }  // namespace

@@ -98,6 +98,13 @@ const ExperimentRegistrar kRegistrar{
     "endgame",
     "E8 (S3.2): from support (1-eps)n, plain async Two-Choices finishes "
     "consensus within O(log n) time and C1 always wins",
+    "Starts plain async Two-Choices from an already-decided "
+    "configuration (support (1-eps)n for color 1) and measures the "
+    "time to finish consensus — the endgame phase the main protocol "
+    "hands over to. Sweeps n (doubling up to --max_n=) at fixed "
+    "--eps=, then sweeps eps at fixed n. Records `endgame_time_vs_n` "
+    "and `endgame_time_vs_eps`. Overrides: --n=, --max_n=, --eps=, "
+    "--engine=.",
     /*default_reps=*/20, run_exp};
 
 }  // namespace

@@ -192,6 +192,13 @@ const ExperimentRegistrar kRegistrar{
     "M1b/M1c: protocol tick and engine event-loop throughput (ns per "
     "tick / node-update), plus heap vs superposition vs sharded engine "
     "head-to-head",
+    "Hot-path microbenchmarks. M1b: ns per protocol tick (Voter, "
+    "Two-Choices, 3-Majority) and ns per node-update for the sync "
+    "drivers. M1c: the same Two-Choices workload driven end to end by "
+    "each async engine (sequential, heap, superposition, sharded) — "
+    "the superposition-vs-heap gap is the PR 2 headline. Records "
+    "`ns_per_op` and `ns_per_tick_engine`. Overrides: --n=, --iters=, "
+    "--m1c_n=, --m1c_iters=, --shards=.",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

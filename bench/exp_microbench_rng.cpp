@@ -106,6 +106,11 @@ const ExperimentRegistrar kRegistrar{
     "microbench_rng",
     "M1a: throughput of the RNG / sampling primitives every simulation "
     "tick pays for (ns per op)",
+    "Microbenchmarks the sampling primitives on the simulation hot "
+    "path: raw xoshiro256 words, Lemire uniform_below, unit "
+    "exponentials, Poisson draws, and alias-table sampling. Records "
+    "`ns_per_op` per primitive; useful as a canary when touching "
+    "rng/distributions.hpp. Overrides: --iters=.",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

@@ -100,6 +100,14 @@ const ExperimentRegistrar kRegistrar{
     "E9 (ref [4]): the sequential uniform-node model and both continuous "
     "Poisson-clock engines (heap, superposition) give the same consensus "
     "time (ratios ~ 1)",
+    "Runs the same Two-Choices clique workload on the sequential "
+    "model and on both exact continuous engines (n-timer heap, "
+    "superposition) and compares consensus-time distributions — the "
+    "empirical side of the ref [4] equivalence and of the PR 2 engine "
+    "rewrite. Records `sequential_time`, `heap_time`, and "
+    "`superposition_time`; the unit-test twin (with KS statistics, "
+    "including the zero-latency messaging driver) lives in "
+    "tests/test_model_equivalence.cpp. Overrides: --n=.",
     /*default_reps=*/30, run_exp};
 
 }  // namespace

@@ -127,6 +127,12 @@ const ExperimentRegistrar kRegistrar{
     "one_extra_bit",
     "E4 (Theorem 1.2): sync OneExtraBit converges in polylog rounds, "
     "near-flat in k, while Two-Choices grows ~linearly in k",
+    "The synchronous-rounds version of the headline: sync OneExtraBit "
+    "vs sync Two-Choices on the clique. Sweeps k (doubling up to "
+    "--max_k=) at fixed n, plus n at fixed --k= for the polylog "
+    "growth. Records `oeb_rounds_vs_k`, `tc_rounds_vs_k`, and "
+    "`oeb_rounds_vs_n` (rounds to consensus). Overrides: --n=, --k=, "
+    "--max_k=.",
     /*default_reps=*/8, run_exp};
 
 }  // namespace

@@ -67,6 +67,11 @@ const ExperimentRegistrar kRegistrar{
     "quadratic_growth",
     "E5 (S2): one OneExtraBit phase amplifies the support ratio "
     "quadratically, c1'/c2' ~ (c1/c2)^2",
+    "Isolates one OneExtraBit phase: prepares support ratios c1/c2 on "
+    "a two-color clique, executes a single phase, and fits the "
+    "amplified ratio against the squared input ratio. Records "
+    "`amplified_ratio` per initial ratio; the regression slope ~ 2 in "
+    "log-log space is the S2 claim. Overrides: --n=.",
     /*default_reps=*/10, run_exp};
 
 }  // namespace

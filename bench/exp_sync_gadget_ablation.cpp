@@ -99,6 +99,12 @@ const ExperimentRegistrar kRegistrar{
     "sync_gadget_ablation",
     "E7 (S3): with the Sync Gadget working times stay within O(Delta) of "
     "the median; without it Poisson clocks drift apart like sqrt(t)",
+    "Ablates the Sync Gadget: runs the async schedule with and without "
+    "the median-jump resynchronization and tracks how far working "
+    "times spread across nodes as n grows (doubling up to --max_n=). "
+    "Records `max_spread` (max working-time distance from the median) "
+    "and `poor_frac` (fraction of nodes outside the O(Delta) band). "
+    "Overrides: --max_n=.",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

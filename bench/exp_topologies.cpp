@@ -94,6 +94,12 @@ const ExperimentRegistrar kRegistrar{
     "topologies",
     "A2 (extension): async Two-Choices and Voter on clique, Erdos-Renyi, "
     "random-regular, torus, and ring — expanders track the clique",
+    "Extension beyond the paper's clique: async Two-Choices and Voter "
+    "on complete, Erdos-Renyi, random-regular, torus, and ring "
+    "topologies at matched n, each run until consensus or --horizon=. "
+    "Records `tc_time` and `voter_time` per topology — expanders track "
+    "the clique while the low-conductance ring/torus stall. Overrides: "
+    "--n=, --horizon=, --engine=.",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

@@ -123,6 +123,12 @@ const ExperimentRegistrar kRegistrar{
     "two_choices_lower_bound",
     "E2 (Theorem 1.1 lower): with c2=...=ck tied, sync Two-Choices needs "
     "Omega(n/c1 + log n) rounds — ~linear in k",
+    "The lower-bound side of Theorem 1.1: ties all minority colors "
+    "(c2 = ... = ck) and sweeps k (doubling up to --max_k=), measuring "
+    "sync Two-Choices rounds under both the theorem's bias and a "
+    "near-tie bias. Records `rounds_theorem_bias` and "
+    "`rounds_neartie_bias`; the ~linear growth in k is the claim "
+    "OneExtraBit escapes. Overrides: --n=, --max_k=.",
     /*default_reps=*/10, run_exp};
 
 }  // namespace

@@ -72,6 +72,11 @@ const ExperimentRegistrar kRegistrar{
     "two_choices_scaling",
     "E1 (Theorem 1.1 upper): sync Two-Choices with k=2 and bias "
     "sqrt(n ln n) converges in O(log n) rounds",
+    "The upper-bound side of Theorem 1.1 in its simplest setting: "
+    "two-color sync Two-Choices with bias sqrt(n ln n), sweeping n "
+    "(doubling up to --max_n=). Records `rounds_vs_n`; the fit of "
+    "rounds against log n should be linear with slope O(1). Overrides: "
+    "--max_n=.",
     /*default_reps=*/10, run_exp};
 
 }  // namespace

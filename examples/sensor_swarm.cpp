@@ -18,13 +18,14 @@
 #include "opinion/assignment.hpp"
 #include "rng/xoshiro256.hpp"
 #include "sim/continuous_engine.hpp"
+#include "sim/latency.hpp"
 
 int main() {
   using namespace plurality;
 
   constexpr std::uint64_t kSensors = 20000;
   constexpr ColorId kBuckets = 8;
-  constexpr double kResponseRate = 4.0;  // mean network delay 0.25 units
+  constexpr double kMeanDelay = 0.25;  // mean network delay, time units
 
   Xoshiro256 rng(7);
   const CompleteGraph swarm(kSensors);
@@ -40,17 +41,20 @@ int main() {
   const ColorId truth = 0;  // assign_dirichlet relabels the mode to 0
 
   auto protocol = AsyncOneExtraBitDelayed<CompleteGraph>::make(
-      swarm, std::move(readings), kResponseRate);
+      swarm, std::move(readings));
 
-  const AsyncRunResult result =
-      run_continuous_messaging(protocol, rng, /*max_time=*/20000.0);
+  // Exponential network delays (§4); swap in ParetoLatency or
+  // PositiveAgingLatency to explore the edge-latency families.
+  const ExponentialLatency network(kMeanDelay);
+  const AsyncRunResult result = run_continuous_messaging(
+      protocol, network, rng, /*max_time=*/20000.0);
 
   if (result.consensus) {
     std::printf(
         "swarm agreed on bucket %u (%s) after %.1f time units under "
         "mean response delay %.2f\n",
         result.winner, result.winner == truth ? "the true mode" : "NOT the mode",
-        result.time, 1.0 / kResponseRate);
+        result.time, kMeanDelay);
   } else {
     std::printf("swarm failed to agree within the horizon\n");
   }

@@ -1,21 +1,29 @@
 #pragma once
 
 /// \file delayed.hpp
-/// The response-delay extension (paper §4): "once a node contacts
-/// another node, it receives that node's response without any delay...
-/// We may address this issue by extending our model to allow for
-/// response delays following some exponential distribution with
-/// constant parameter."
+/// Delayed-response protocol variants: the response-delay extension of
+/// the source paper (§4) generalized to arbitrary edge-latency models
+/// (sim/latency.hpp, after Bankhamer et al.).
 ///
 /// Model implemented here: contacting a peer is instantaneous and the
-/// peer answers immediately, but the answer travels back for an
-/// Exp(mu) -distributed time. The answer therefore carries the peer's
-/// state *as of the query tick* and is applied on delivery. Answers
-/// arriving after the relevant step's deadline (e.g. a two-choices
-/// answer arriving after the node already committed, detected via a
-/// phase tag) are dropped — exactly the kind of straggler the paper's
-/// tactical waiting blocks absorb. Experiment E10 shows that constant
-/// mean delays leave the Theta(log n) run time intact.
+/// peer answers immediately, but the answer travels back for a random
+/// time drawn from the driver's LatencyModel. The answer therefore
+/// carries the peer's state *as of the query tick* and is applied on
+/// delivery. Answers arriving after the relevant step's deadline (e.g.
+/// a two-choices answer arriving after the node already committed,
+/// detected via a phase tag) are dropped — exactly the kind of
+/// straggler the paper's tactical waiting blocks absorb.
+///
+/// None of these protocols samples a delay itself: every message is
+/// posted via the delay-less Outbox::post, and the messaging driver
+/// draws the latency from its model at enqueue time (the RNG-ownership
+/// invariant in continuous_engine.hpp). Run them with
+/// run_continuous_messaging(proto, latency_model, ...). Under
+/// ZeroLatency they reproduce the instant-response protocols'
+/// consensus-time distribution (enforced by
+/// tests/test_model_equivalence.cpp); experiment E10 shows constant
+/// mean delays leave the Theta(log n) run time intact, and experiment
+/// L1 compares the latency families head to head.
 
 #include <cstdint>
 #include <utility>
@@ -23,6 +31,7 @@
 
 #include "core/schedule.hpp"
 #include "core/sync_gadget.hpp"
+#include "core/three_majority.hpp"
 #include "graph/graph.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/table.hpp"
@@ -33,8 +42,28 @@
 
 namespace plurality {
 
-/// Asynchronous Two-Choices with exponentially delayed responses; the
-/// smallest protocol exercising the messaging driver end to end.
+/// How a delayed protocol issues queries.
+///
+/// kBlocking (default) is the Bankhamer et al. request/response model:
+/// a node keeps at most ONE query in flight, ticks on a waiting node
+/// are suppressed, and the answer re-arms it. This is what makes the
+/// latency *shape* matter: under a decreasing-hazard (heavy-tailed)
+/// model the residual wait of an in-flight query grows the longer it
+/// has been outstanding (the waiting-time paradox), so the endgame is
+/// gated by stragglers, while positive aging keeps every round trip
+/// concentrated around the mean.
+///
+/// kFireAndForget posts a fresh query on every tick regardless of
+/// outstanding answers — the §4-style semantics, and the discipline
+/// the sharded engine's constant-latency epoch fold approximates
+/// (updates at full tick rate from c-stale reads).
+enum class QueryDiscipline : std::uint8_t { kBlocking, kFireAndForget };
+
+/// Asynchronous Two-Choices with delayed responses; the smallest
+/// protocol exercising the messaging driver end to end. On each
+/// (non-suppressed) tick the node samples two neighbors — read at
+/// query time — and the matched pair travels back under the driver's
+/// latency model; the update applies on delivery.
 template <GraphTopology G>
 class TwoChoicesAsyncDelayed {
  public:
@@ -43,27 +72,28 @@ class TwoChoicesAsyncDelayed {
     ColorId second;
   };
 
-  /// `delay_rate` is the exponential rate mu of the response delay
-  /// (mean 1/mu time units). Requires delay_rate > 0.
   TwoChoicesAsyncDelayed(const G& graph, Assignment assignment,
-                         double delay_rate)
+                         QueryDiscipline discipline =
+                             QueryDiscipline::kBlocking)
       : graph_(&graph),
         table_(std::move(assignment.colors), assignment.num_colors),
-        delay_rate_(delay_rate) {
+        discipline_(discipline) {
     PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
-    PC_EXPECTS(delay_rate > 0.0);
+    pending_.assign(table_.num_nodes(), 0);
   }
 
   void on_tick(NodeId u, Xoshiro256& rng, double /*now*/,
                Outbox<Message>& out) {
+    if (discipline_ == QueryDiscipline::kBlocking && pending_[u]) return;
     const NodeId v = graph_->sample_neighbor(u, rng);
     const NodeId w = graph_->sample_neighbor(u, rng);
-    out.post(u, exponential(rng, delay_rate_),
-             Message{table_.color(v), table_.color(w)});
+    pending_[u] = 1;
+    out.post(u, Message{table_.color(v), table_.color(w)});
   }
 
   void on_message(NodeId u, const Message& m, Xoshiro256& /*rng*/,
                   double /*now*/, Outbox<Message>& /*out*/) {
+    pending_[u] = 0;
     if (m.first == m.second) table_.set_color(u, m.first);
   }
 
@@ -74,7 +104,58 @@ class TwoChoicesAsyncDelayed {
  private:
   const G* graph_;
   OpinionTable table_;
-  double delay_rate_;
+  QueryDiscipline discipline_;
+  std::vector<std::uint8_t> pending_;
+};
+
+/// Asynchronous 3-Majority with delayed responses: the tick samples
+/// three neighbors at query time; the majority rule is applied when
+/// the answer arrives. Same query disciplines as
+/// TwoChoicesAsyncDelayed. The second baseline of experiment L1.
+template <GraphTopology G>
+class ThreeMajorityAsyncDelayed {
+ public:
+  struct Message {
+    ColorId a;
+    ColorId b;
+    ColorId c;
+  };
+
+  ThreeMajorityAsyncDelayed(const G& graph, Assignment assignment,
+                            QueryDiscipline discipline =
+                                QueryDiscipline::kBlocking)
+      : graph_(&graph),
+        table_(std::move(assignment.colors), assignment.num_colors),
+        discipline_(discipline) {
+    PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
+    pending_.assign(table_.num_nodes(), 0);
+  }
+
+  void on_tick(NodeId u, Xoshiro256& rng, double /*now*/,
+               Outbox<Message>& out) {
+    if (discipline_ == QueryDiscipline::kBlocking && pending_[u]) return;
+    const ColorId a = table_.color(graph_->sample_neighbor(u, rng));
+    const ColorId b = table_.color(graph_->sample_neighbor(u, rng));
+    const ColorId c = table_.color(graph_->sample_neighbor(u, rng));
+    pending_[u] = 1;
+    out.post(u, Message{a, b, c});
+  }
+
+  void on_message(NodeId u, const Message& m, Xoshiro256& /*rng*/,
+                  double /*now*/, Outbox<Message>& /*out*/) {
+    pending_[u] = 0;
+    table_.set_color(u, detail::majority_of_three(m.a, m.b, m.c));
+  }
+
+  std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
+  bool done() const noexcept { return table_.has_consensus(); }
+  const OpinionTable& table() const noexcept { return table_; }
+
+ private:
+  const G* graph_;
+  OpinionTable table_;
+  QueryDiscipline discipline_;
+  std::vector<std::uint8_t> pending_;
 };
 
 /// The full asynchronous OneExtraBit protocol under delayed responses.
@@ -95,16 +176,14 @@ class AsyncOneExtraBitDelayed {
   };
 
   AsyncOneExtraBitDelayed(const G& graph, Assignment assignment,
-                          AsyncSchedule schedule, double delay_rate)
+                          AsyncSchedule schedule)
       : graph_(&graph),
         schedule_(schedule),
         table_(std::move(assignment.colors), assignment.num_colors),
         gadget_(table_.num_nodes(),
                 static_cast<std::uint32_t>(
-                    std::max<std::uint64_t>(schedule.sync_ticks(), 1))),
-        delay_rate_(delay_rate) {
+                    std::max<std::uint64_t>(schedule.sync_ticks(), 1))) {
     PC_EXPECTS(graph.num_nodes() == table_.num_nodes());
-    PC_EXPECTS(delay_rate > 0.0);
     const std::uint64_t n = table_.num_nodes();
     working_time_.assign(n, 0);
     real_ticks_.assign(n, 0);
@@ -116,11 +195,9 @@ class AsyncOneExtraBitDelayed {
   }
 
   static AsyncOneExtraBitDelayed make(const G& graph, Assignment assignment,
-                                      double delay_rate,
                                       AsyncParams params = {}) {
     AsyncSchedule schedule(graph.num_nodes(), assignment.num_colors, params);
-    return AsyncOneExtraBitDelayed(graph, std::move(assignment), schedule,
-                                   delay_rate);
+    return AsyncOneExtraBitDelayed(graph, std::move(assignment), schedule);
   }
 
   void on_tick(NodeId u, Xoshiro256& rng, double /*now*/,
@@ -132,9 +209,8 @@ class AsyncOneExtraBitDelayed {
       case AsyncSchedule::Op::kTwoChoicesSample: {
         const NodeId v = graph_->sample_neighbor(u, rng);
         const NodeId w = graph_->sample_neighbor(u, rng);
-        out.post(u, exponential(rng, delay_rate_),
-                 Message{Kind::kTwoChoices, phase, table_.color(v),
-                         table_.color(w), 0, 0});
+        out.post(u, Message{Kind::kTwoChoices, phase, table_.color(v),
+                            table_.color(w), 0, 0});
         has_intermediate_[u] = 0;  // reset; the answer may re-arm it
         break;
       }
@@ -154,17 +230,15 @@ class AsyncOneExtraBitDelayed {
           // Phase-tagged bit (see async_one_extra_bit.hpp): v's bit only
           // counts if it was set in the querier's current phase.
           const std::uint8_t fresh = bit_phase_[v] == phase + 1 ? 1 : 0;
-          out.post(u, exponential(rng, delay_rate_),
-                   Message{Kind::kBitProp, phase, table_.color(v), 0,
-                           fresh, 0});
+          out.post(u, Message{Kind::kBitProp, phase, table_.color(v), 0,
+                              fresh, 0});
         }
         break;
       }
       case AsyncSchedule::Op::kSyncSample: {
         const NodeId v = graph_->sample_neighbor(u, rng);
-        out.post(u, exponential(rng, delay_rate_),
-                 Message{Kind::kSync, phase, 0, 0, 0,
-                         static_cast<std::int64_t>(real_ticks_[v])});
+        out.post(u, Message{Kind::kSync, phase, 0, 0, 0,
+                            static_cast<std::int64_t>(real_ticks_[v])});
         break;
       }
       case AsyncSchedule::Op::kJump: {
@@ -184,9 +258,8 @@ class AsyncOneExtraBitDelayed {
       case AsyncSchedule::Op::kEndgame: {
         const NodeId v = graph_->sample_neighbor(u, rng);
         const NodeId w = graph_->sample_neighbor(u, rng);
-        out.post(u, exponential(rng, delay_rate_),
-                 Message{Kind::kEndgame, phase, table_.color(v),
-                         table_.color(w), 0, 0});
+        out.post(u, Message{Kind::kEndgame, phase, table_.color(v),
+                            table_.color(w), 0, 0});
         break;
       }
       case AsyncSchedule::Op::kDone: {
@@ -256,7 +329,6 @@ class AsyncOneExtraBitDelayed {
   AsyncSchedule schedule_;
   OpinionTable table_;
   SyncGadgetStore gadget_;
-  double delay_rate_;
   std::vector<std::uint64_t> working_time_;
   std::vector<std::uint64_t> real_ticks_;
   std::vector<ColorId> intermediate_;

@@ -22,6 +22,15 @@ bool is_plumbing_key(const std::string& key) {
 /// Raw CLI values are strings; type them in the record (bare flag ->
 /// true, numeric text -> number) so params diff cleanly across PRs and
 /// match the numeric sweep params inside series entries.
+std::string join_comma(const std::set<std::string>& names) {
+  std::string joined;
+  for (const auto& name : names) {
+    if (!joined.empty()) joined += ",";
+    joined += name;
+  }
+  return joined;
+}
+
 JsonValue typed_param(const std::string& value) {
   if (value.empty()) return JsonValue(true);
   errno = 0;
@@ -114,6 +123,12 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
   params["seed"] = ctx.master_seed;
   params["reps"] = ctx.reps;
   params["threads"] = ctx.threads;
+  // Explicit --latency/--latency-mean/--latency-shape flags reach the
+  // record through the raw-args echo below; the resolved shape default
+  // is only interesting when a model was requested by kind.
+  if (args.has_flag("latency")) {
+    params["latency-shape"] = ctx.latency.shape;
+  }
   for (const auto& [key, value] : args.raw()) {
     if (!params.has(key) && !is_plumbing_key(key)) {
       params[key] = typed_param(value);
@@ -125,15 +140,17 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
   // --shards=0 picks the host's core count and sharded trajectories
   // depend on it.
   if (const auto engines = ctx.effective_engines(); !engines.empty()) {
-    std::string joined;
-    for (const auto& name : engines) {
-      if (!joined.empty()) joined += ",";
-      joined += name;
-    }
-    params["engine_effective"] = joined;
+    params["engine_effective"] = join_comma(engines);
     if (engines.count("sharded") > 0) {
       params["shards_resolved"] = ctx.shards;
     }
+  }
+  // The latency models that actually drove runs (mirroring
+  // engine_effective): most experiments ignore --latency, and a record
+  // claiming a model its samples never used would misattribute them.
+  if (const auto latencies = ctx.effective_latencies();
+      !latencies.empty()) {
+    params["latency_effective"] = join_comma(latencies);
   }
   record["params"] = std::move(params);
 
@@ -144,10 +161,11 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
 }
 
 ExperimentRegistrar::ExperimentRegistrar(
-    std::string name, std::string description, std::uint64_t default_reps,
-    std::function<int(ExperimentContext&)> run) {
-  ExperimentRegistry::instance().add(Experiment{
-      std::move(name), std::move(description), default_reps, std::move(run)});
+    std::string name, std::string description, std::string describe,
+    std::uint64_t default_reps, std::function<int(ExperimentContext&)> run) {
+  ExperimentRegistry::instance().add(
+      Experiment{std::move(name), std::move(description),
+                 std::move(describe), default_reps, std::move(run)});
 }
 
 }  // namespace plurality

@@ -30,6 +30,7 @@
 #include "experiment/json_writer.hpp"
 #include "rng/seed.hpp"
 #include "sim/engine_select.hpp"
+#include "sim/latency.hpp"
 
 namespace plurality {
 
@@ -59,6 +60,24 @@ class ExperimentContext {
     if (shards == 0) {
       shards = std::max(1u, std::thread::hardware_concurrency());
     }
+    // Resolve and validate the --latency= triple on the main thread for
+    // the same reason: minting a model checks the (mean, shape)
+    // contracts, and latency.make() is later called from worker
+    // lambdas, where a throw would terminate instead of reporting.
+    latency.kind = parse_latency_kind(args.get_string("latency", "zero"));
+    latency.mean = args.get_double("latency-mean", 1.0);
+    latency.shape = args.get_double(
+        "latency-shape", default_latency_shape(latency.kind));
+    try {
+      latency.make();
+    } catch (const ContractViolation& e) {
+      // Name the flags: the raw contract message points at
+      // latency.hpp, not at what the user typed.
+      throw ContractViolation(
+          std::string("invalid --latency/--latency-mean/--latency-shape "
+                      "combination: ") +
+          e.what());
+    }
   }
 
   Args args;
@@ -68,6 +87,7 @@ class ExperimentContext {
   std::string engine;  ///< --engine= override; empty = experiment default
   unsigned shards;     ///< --shards=, resolved (0 -> hardware concurrency)
   bool csv;
+  LatencySpec latency;  ///< resolved --latency/--latency-mean/--latency-shape
 
   /// Independent seed stream for one sweep point of the experiment.
   SeedSequence seeds_for(std::uint64_t sweep_point) const {
@@ -102,16 +122,39 @@ class ExperimentContext {
     return engines_used_;
   }
 
+  /// Called by the bench harness with the name of a latency model that
+  /// actually drove a run (bench_common::run_messaging and the sharded
+  /// fold call sites); collected into the JSON record as
+  /// params.latency_effective. Mirrors note_effective_engine: most
+  /// experiments never consume `latency`, and stamping a model onto a
+  /// record whose samples ignored it would misattribute them.
+  /// Thread-safe (repetition bodies run on workers).
+  void note_effective_latency(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    latencies_used_.insert(name);
+  }
+
+  /// All latency models noted during the run, sorted; empty when the
+  /// experiment never drove a latency-model run.
+  std::set<std::string> effective_latencies() const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    return latencies_used_;
+  }
+
  private:
   JsonValue series_ = JsonValue::array();
   mutable std::mutex engines_mutex_;
   mutable std::set<std::string> engines_used_;
+  mutable std::set<std::string> latencies_used_;
 };
 
 /// A registered experiment.
 struct Experiment {
   std::string name;         ///< CLI handle, e.g. "one_extra_bit"
   std::string description;  ///< one line: paper claim / what it measures
+  std::string describe;     ///< catalog paragraph: setup, sweeps, flags,
+                            ///< what the recorded series mean (feeds the
+                            ///< generated docs/EXPERIMENTS.md)
   std::uint64_t default_reps = 10;
   std::function<int(ExperimentContext&)> run;
 };
@@ -145,10 +188,12 @@ class ExperimentRegistry {
 };
 
 /// Registers an experiment at static-initialization time; define one
-/// per experiment translation unit.
+/// per experiment translation unit. `describe` is the experiment's
+/// catalog entry (a paragraph on setup, sweep flags, and recorded
+/// series) emitted into docs/EXPERIMENTS.md via `--describe-all`.
 struct ExperimentRegistrar {
   ExperimentRegistrar(std::string name, std::string description,
-                      std::uint64_t default_reps,
+                      std::string describe, std::uint64_t default_reps,
                       std::function<int(ExperimentContext&)> run);
 };
 

@@ -4,7 +4,7 @@
 /// Sampling primitives built on any 64-bit uniform bit generator.
 /// Implemented in-library (not via <random> distributions) so that
 /// results are identical across standard-library implementations, which
-/// the reproducibility guarantees in EXPERIMENTS.md rely on.
+/// the reproducibility guarantees in docs/EXPERIMENTS.md rely on.
 
 #include <cmath>
 #include <concepts>

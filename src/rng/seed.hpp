@@ -3,9 +3,10 @@
 /// \file seed.hpp
 /// Deterministic seed derivation. A single 64-bit master seed expands
 /// into arbitrarily many independent streams (one per experiment
-/// repetition, per node pool, ...), so every table in EXPERIMENTS.md is
-/// reproducible bit-for-bit from one number, and running repetitions on
-/// different thread counts cannot change results.
+/// repetition, per node pool, ...), so every experiment in
+/// docs/EXPERIMENTS.md is reproducible bit-for-bit from one number, and
+/// running repetitions on different thread counts cannot change
+/// results.
 
 #include <cstdint>
 

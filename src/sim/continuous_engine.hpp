@@ -22,10 +22,26 @@
 /// "Engine selection").
 ///
 /// The engine also supports protocols that exchange *delayed messages*
-/// (the response-delay extension of §4): a messaging protocol stages
-/// (recipient, delay, message) triples in an Outbox; the engine keeps a
-/// queue only for pending deliveries and races its head against the
-/// superposition-generated tick stream.
+/// (the response-delay extension of §4 and the edge-latency models of
+/// Bankhamer et al., see sim/latency.hpp): a messaging protocol stages
+/// (recipient, message) pairs — optionally with an explicit delay — in
+/// an Outbox; the engine keeps a queue only for pending deliveries and
+/// races its head against the superposition-generated tick stream.
+///
+/// Invariants of the messaging driver:
+///   - Delivery ordering: events are processed in nondecreasing time;
+///     when a pending delivery and the next generated tick carry the
+///     same timestamp, the delivery goes first (ties between the two
+///     streams have probability zero for continuous latencies; with
+///     ZeroLatency this makes an answer land before any later tick, so
+///     the zero-latency messaging run is the instant-response process).
+///     Deliveries among themselves keep (time, post order).
+///   - Latency-draw RNG ownership: when the driver is constructed with
+///     a LatencyModel, *the driver* draws one latency per message from
+///     its own RNG stream at enqueue time (the moment the outbox is
+///     drained). Protocols never sample delays themselves, so the same
+///     protocol code runs unchanged under every latency model and a
+///     fixed (seed, model) pair is deterministic.
 
 #include <cstddef>
 #include <cstdint>
@@ -36,6 +52,7 @@
 #include "rng/distributions.hpp"
 #include "sim/concepts.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/latency.hpp"
 #include "sim/observers.hpp"
 #include "sim/result.hpp"
 #include "support/assert.hpp"
@@ -48,10 +65,20 @@ template <typename Message>
 class Outbox {
  public:
   /// Schedules `message` for delivery to `to` after `delay` time units.
-  /// Requires delay >= 0.
+  /// Requires delay >= 0. Prefer the delay-less overload: it lets the
+  /// driver's LatencyModel own the draw so the protocol is reusable
+  /// under every latency family.
   void post(NodeId to, double delay, Message message) {
     PC_EXPECTS(delay >= 0.0);
     staged_.emplace_back(to, delay, std::move(message));
+  }
+
+  /// Schedules `message` for delivery to `to` after a latency the
+  /// *driver* draws from its LatencyModel when the outbox is drained.
+  /// Running such a protocol requires a driver constructed with a
+  /// model (run_continuous_messaging's LatencyModel overload).
+  void post(NodeId to, Message message) {
+    staged_.emplace_back(to, kDrawFromModel, std::move(message));
   }
 
   bool empty() const noexcept { return staged_.empty(); }
@@ -59,6 +86,9 @@ class Outbox {
  private:
   template <typename, typename>
   friend class ContinuousMessagingDriver;  // engine drains staged_
+
+  /// Sentinel delay marking "draw from the driver's latency model".
+  static constexpr double kDrawFromModel = -1.0;
 
   std::vector<std::tuple<NodeId, double, Message>> staged_;
 };
@@ -183,11 +213,18 @@ AsyncRunResult run_continuous_heap(P& proto, Xoshiro256& rng, double max_time,
 /// next generated tick. A delivery that lands exactly on a tick time is
 /// processed first (ties between the two streams have probability zero;
 /// deliveries among themselves keep their (time, post order) sequence).
+///
+/// When constructed with a LatencyModel the driver draws one latency
+/// per model-posted message (Outbox::post without a delay) from `rng`
+/// at drain time; see the file header for the ownership invariant.
+/// Posting without a delay on a driver that has no model is a contract
+/// violation.
 template <typename P, typename Obs>
 class ContinuousMessagingDriver {
  public:
-  ContinuousMessagingDriver(P& proto, Xoshiro256& rng, Obs obs)
-      : proto_(proto), rng_(rng), obs_(std::move(obs)) {}
+  ContinuousMessagingDriver(P& proto, Xoshiro256& rng, Obs obs,
+                            const LatencyModel* latency = nullptr)
+      : proto_(proto), rng_(rng), obs_(std::move(obs)), latency_(latency) {}
 
   AsyncRunResult run(double max_time, double sample_every = 1.0) {
     PC_EXPECTS(max_time > 0.0);
@@ -230,7 +267,12 @@ class ContinuousMessagingDriver {
         next_tick = now + exponential_unit(rng_) * inv_n;
       }
       for (auto& [to, delay, message] : outbox.staged_) {
-        deliveries.push(now + delay, Delivery{to, std::move(message)});
+        double resolved = delay;
+        if (resolved == Outbox<Message>::kDrawFromModel) {
+          PC_EXPECTS(latency_ != nullptr);
+          resolved = latency_->sample(rng_);
+        }
+        deliveries.push(now + resolved, Delivery{to, std::move(message)});
       }
       outbox.staged_.clear();
     }
@@ -245,15 +287,30 @@ class ContinuousMessagingDriver {
   P& proto_;
   Xoshiro256& rng_;
   Obs obs_;
+  const LatencyModel* latency_;
 };
 
-/// Convenience wrapper for messaging protocols.
+/// Convenience wrapper for messaging protocols whose posts carry
+/// explicit delays.
 template <MessagingProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_continuous_messaging(P& proto, Xoshiro256& rng,
                                         double max_time, Obs&& obs = Obs{},
                                         double sample_every = 1.0) {
   ContinuousMessagingDriver<P, std::decay_t<Obs>> driver(
       proto, rng, std::forward<Obs>(obs));
+  return driver.run(max_time, sample_every);
+}
+
+/// Runs a messaging protocol under the given edge-latency model: the
+/// driver stamps every model-posted message with a latency drawn from
+/// `latency` (see sim/latency.hpp). The model must outlive the call.
+template <MessagingProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_continuous_messaging(P& proto, const LatencyModel& latency,
+                                        Xoshiro256& rng, double max_time,
+                                        Obs&& obs = Obs{},
+                                        double sample_every = 1.0) {
+  ContinuousMessagingDriver<P, std::decay_t<Obs>> driver(
+      proto, rng, std::forward<Obs>(obs), &latency);
   return driver.run(max_time, sample_every);
 }
 

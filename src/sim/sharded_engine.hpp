@@ -26,6 +26,20 @@
 /// exact process; shrinking `epoch_length` shrinks it (at the cost of
 /// more barriers), and the engine equivalence tests pin the
 /// consensus-time agreement statistically.
+///
+/// Edge latencies (sim/latency.hpp): the engine can *fold* a constant
+/// latency c into its epoch schedule by setting `epoch_length` = 2c
+/// and enabling `snapshot_reads` — then every neighbor read
+/// (same-shard included) comes from the epoch-start snapshot, i.e.
+/// from state whose age is uniform on [0, 2c) with mean c, matching
+/// the mean information age of reading peers one constant response
+/// delay ago (the age is epoch-quantized, not constant, and updates
+/// apply at tick time rather than tick + c — see run_sharded_latency
+/// in engine_select.hpp for the precise claim). Only the ticking
+/// node's *own* color stays live (its self-read is not an edge).
+/// Random latency models cannot be folded this way — their draws
+/// would cross epoch boundaries and break the deterministic merge —
+/// so engine selection falls back to the messaging driver for them.
 
 #include <condition_variable>
 #include <cstdint>
@@ -81,14 +95,23 @@ concept ShardableProtocol =
 /// Runs `proto` under Poisson(1) clocks until done() or `max_time`,
 /// spread across `num_shards` threads (0 picks the hardware
 /// concurrency). Deterministic for a fixed (seed, num_shards,
-/// epoch_length) triple. done() is polled at epoch boundaries only, so
-/// a run can overshoot consensus by up to one epoch of ticks; when cut
-/// off by the horizon, result.time reports `max_time`.
+/// epoch_length, snapshot_reads) tuple. done() is polled at epoch
+/// boundaries only, so a run can overshoot consensus by up to one
+/// epoch of ticks; when cut off by the horizon, result.time reports
+/// `max_time`.
+///
+/// `snapshot_reads` = false (default): same-shard neighbor reads are
+/// live, foreign reads are at most one epoch stale. `snapshot_reads` =
+/// true: *all* neighbor reads come from the epoch-start snapshot and
+/// only the node's own color is live — the constant-latency fold
+/// described in the file header (pair it with `epoch_length` set to
+/// the latency).
 template <ShardableProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
                            double max_time, Obs&& obs = Obs{},
                            double sample_every = 1.0,
-                           double epoch_length = 0.25) {
+                           double epoch_length = 0.25,
+                           bool snapshot_reads = false) {
   PC_EXPECTS(max_time > 0.0);
   PC_EXPECTS(sample_every > 0.0);
   PC_EXPECTS(epoch_length > 0.0);
@@ -129,11 +152,18 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
       const std::uint64_t n_s = shard.hi - shard.lo;
       const std::uint64_t ticks =
           poisson(shard.rng, static_cast<double>(n_s) * dt);
-      const ShardView view(live.data(), snapshot.data(), shard.lo, shard.hi);
+      const ShardView shard_view(live.data(), snapshot.data(), shard.lo,
+                                 shard.hi);
       ColorId* colors = live.data();
       for (std::uint64_t t = 0; t < ticks; ++t) {
         const auto u = static_cast<NodeId>(
             shard.lo + uniform_below(shard.rng, n_s));
+        // In snapshot_reads mode only the ticking node itself is read
+        // live; every neighbor read hits the epoch-start snapshot.
+        const ShardView view =
+            snapshot_reads
+                ? ShardView(live.data(), snapshot.data(), u, u + 1)
+                : shard_view;
         const ColorId next = proto.propose(u, view, shard.rng);
         const ColorId old = colors[u];
         if (next != old) {

@@ -1,5 +1,7 @@
-// Tests for the response-delay extension (§4): delayed two-choices and
-// the delayed asynchronous OneExtraBit protocol.
+// Tests for the delayed-response protocols (§4 generalized to latency
+// models): delayed Two-Choices / 3-Majority and the delayed
+// asynchronous OneExtraBit protocol, all driven by the messaging
+// engine's LatencyModel (the protocols no longer sample delays).
 
 #include <gtest/gtest.h>
 
@@ -9,48 +11,70 @@
 #include "opinion/assignment.hpp"
 #include "rng/seed.hpp"
 #include "sim/continuous_engine.hpp"
+#include "sim/latency.hpp"
 #include "support/assert.hpp"
 
 namespace plurality {
 namespace {
 
 static_assert(MessagingProtocol<AsyncOneExtraBitDelayed<CompleteGraph>>);
+static_assert(MessagingProtocol<TwoChoicesAsyncDelayed<CompleteGraph>>);
+static_assert(MessagingProtocol<ThreeMajorityAsyncDelayed<CompleteGraph>>);
 
 TEST(DelayedTwoChoices, ConsensusUnderModerateDelays) {
   const std::uint64_t n = 512;
   const CompleteGraph g(n);
   const SeedSequence seeds(1);
+  const ExponentialLatency latency(0.5);
   for (std::uint64_t rep = 0; rep < 5; ++rep) {
     Xoshiro256 rng = seeds.make_rng(rep);
-    TwoChoicesAsyncDelayed proto(g, assign_two_colors(n, (n * 3) / 4, rng),
-                                 /*delay_rate=*/2.0);
-    const auto result = run_continuous_messaging(proto, rng, 1e5);
+    TwoChoicesAsyncDelayed proto(g, assign_two_colors(n, (n * 3) / 4, rng));
+    const auto result = run_continuous_messaging(proto, latency, rng, 1e5);
     ASSERT_TRUE(result.consensus);
     EXPECT_EQ(result.winner, 0u);
   }
 }
 
-TEST(DelayedTwoChoices, RejectsNonPositiveRate) {
-  const CompleteGraph g(8);
+TEST(DelayedThreeMajority, ConsensusUnderModerateDelays) {
+  const std::uint64_t n = 512;
+  const CompleteGraph g(n);
+  const SeedSequence seeds(2);
+  const ExponentialLatency latency(0.5);
+  for (std::uint64_t rep = 0; rep < 5; ++rep) {
+    Xoshiro256 rng = seeds.make_rng(rep);
+    ThreeMajorityAsyncDelayed proto(g,
+                                    assign_two_colors(n, (n * 3) / 4, rng));
+    const auto result = run_continuous_messaging(proto, latency, rng, 1e5);
+    ASSERT_TRUE(result.consensus);
+    EXPECT_EQ(result.winner, 0u);
+  }
+}
+
+TEST(DelayedTwoChoices, ModelPostWithoutModelIsContractViolation) {
+  // A protocol that posts via the delay-less Outbox overload requires a
+  // driver constructed with a LatencyModel.
+  const std::uint64_t n = 16;
+  const CompleteGraph g(n);
   Xoshiro256 rng(2);
-  EXPECT_THROW(
-      TwoChoicesAsyncDelayed(g, assign_equal(8, 2, rng), 0.0),
-      ContractViolation);
+  TwoChoicesAsyncDelayed proto(g, assign_equal(n, 2, rng));
+  EXPECT_THROW(run_continuous_messaging(proto, rng, 1e3),
+               ContractViolation);
 }
 
 TEST(DelayedOEB, Theorem13RegimeStillConverges) {
-  // Constant-mean delays (rate 2 -> mean 0.5 time units < one block)
-  // must leave the protocol functional, as §4 conjectures.
+  // Constant-mean delays (mean 0.5 time units < one block) must leave
+  // the protocol functional, as §4 conjectures.
   const std::uint64_t n = 4096;
   const CompleteGraph g(n);
   const SeedSequence seeds(3);
+  const ExponentialLatency latency(0.5);
   int wins = 0;
   constexpr std::uint64_t kReps = 5;
   for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     Xoshiro256 rng = seeds.make_rng(rep);
     auto proto = AsyncOneExtraBitDelayed<CompleteGraph>::make(
-        g, assign_plurality_bias(n, 4, n / 4, rng), /*delay_rate=*/2.0);
-    const auto result = run_continuous_messaging(proto, rng, 1e5);
+        g, assign_plurality_bias(n, 4, n / 4, rng));
+    const auto result = run_continuous_messaging(proto, latency, rng, 1e5);
     ASSERT_TRUE(result.consensus || proto.nodes_finished() == n);
     wins += (result.consensus && result.winner == 0);
   }
@@ -64,9 +88,10 @@ TEST(DelayedOEB, StaleAnswersAreDroppedNotCrashing) {
   const std::uint64_t n = 512;
   const CompleteGraph g(n);
   Xoshiro256 rng(4);
+  const ExponentialLatency latency(50.0);
   auto proto = AsyncOneExtraBitDelayed<CompleteGraph>::make(
-      g, assign_plurality_bias(n, 4, n / 4, rng), /*delay_rate=*/0.02);
-  const auto result = run_continuous_messaging(proto, rng, 2e4);
+      g, assign_plurality_bias(n, 4, n / 4, rng));
+  const auto result = run_continuous_messaging(proto, latency, rng, 2e4);
   EXPECT_TRUE(result.consensus || proto.nodes_finished() == n ||
               result.time >= 2e4 - 1.0);
 }
@@ -78,9 +103,11 @@ TEST(DelayedOEB, FastDelaysApproachInstantBehavior) {
   const CompleteGraph g(n);
 
   Xoshiro256 rng_d(5);
+  const ExponentialLatency latency(0.01);
   auto delayed = AsyncOneExtraBitDelayed<CompleteGraph>::make(
-      g, assign_plurality_bias(n, 4, n / 4, rng_d), /*delay_rate=*/100.0);
-  const auto delayed_result = run_continuous_messaging(delayed, rng_d, 1e5);
+      g, assign_plurality_bias(n, 4, n / 4, rng_d));
+  const auto delayed_result =
+      run_continuous_messaging(delayed, latency, rng_d, 1e5);
 
   Xoshiro256 rng_i(5);
   auto instant = AsyncOneExtraBit<CompleteGraph>::make(
@@ -92,14 +119,6 @@ TEST(DelayedOEB, FastDelaysApproachInstantBehavior) {
   EXPECT_EQ(delayed_result.winner, instant_result.winner);
   EXPECT_LT(delayed_result.time, 3.0 * instant_result.time + 50.0);
   EXPECT_LT(instant_result.time, 3.0 * delayed_result.time + 50.0);
-}
-
-TEST(DelayedOEB, MakeValidatesRate) {
-  const CompleteGraph g(16);
-  Xoshiro256 rng(6);
-  EXPECT_THROW(AsyncOneExtraBitDelayed<CompleteGraph>::make(
-                   g, assign_equal(16, 2, rng), -1.0),
-               ContractViolation);
 }
 
 }  // namespace

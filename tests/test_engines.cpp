@@ -309,9 +309,9 @@ TEST(MessagingEngine, HorizonCutoffReportsMaxTime) {
 TEST(MessagingEngine, DelayedTwoChoicesReachesConsensus) {
   const CompleteGraph g(128);
   Xoshiro256 rng(10);
-  TwoChoicesAsyncDelayed proto(g, assign_two_colors(128, 112, rng),
-                               /*delay_rate=*/4.0);
-  const auto result = run_continuous_messaging(proto, rng, 1e5);
+  const ExponentialLatency latency(0.25);
+  TwoChoicesAsyncDelayed proto(g, assign_two_colors(128, 112, rng));
+  const auto result = run_continuous_messaging(proto, latency, rng, 1e5);
   EXPECT_TRUE(result.consensus);
   EXPECT_EQ(result.winner, 0u);
 }
@@ -321,9 +321,9 @@ TEST(MessagingEngine, HugeDelaysStallProgress) {
   Xoshiro256 rng(11);
   // Mean delay 1000 time units >> horizon: almost no answer arrives, so
   // almost no node ever flips.
-  TwoChoicesAsyncDelayed proto(g, assign_two_colors(64, 40, rng),
-                               /*delay_rate=*/0.001);
-  const auto result = run_continuous_messaging(proto, rng, 5.0);
+  const ExponentialLatency latency(1000.0);
+  TwoChoicesAsyncDelayed proto(g, assign_two_colors(64, 40, rng));
+  const auto result = run_continuous_messaging(proto, latency, rng, 5.0);
   EXPECT_FALSE(result.consensus);
   EXPECT_GE(proto.table().support(1), 15u);  // minority barely dented
 }

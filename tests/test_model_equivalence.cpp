@@ -13,12 +13,14 @@
 #include <cmath>
 #include <vector>
 
+#include "core/delayed.hpp"
 #include "core/two_choices.hpp"
 #include "core/voter.hpp"
 #include "graph/complete.hpp"
 #include "opinion/assignment.hpp"
 #include "rng/seed.hpp"
 #include "sim/continuous_engine.hpp"
+#include "sim/latency.hpp"
 #include "sim/sequential_engine.hpp"
 #include "sim/sharded_engine.hpp"
 #include "stats/quantiles.hpp"
@@ -158,6 +160,47 @@ TEST(EngineEquivalence, HeapSuperpositionShardedAgreeOnE1Runs) {
   EXPECT_LT(ks_statistic(heap, sup), 0.45);
   EXPECT_LT(ks_statistic(heap, shard), 0.45);
   EXPECT_LT(ks_statistic(sup, shard), 0.45);
+}
+
+TEST(EngineEquivalence, ZeroLatencyMessagingMatchesInstantEngines) {
+  // The latency-subsystem acceptance gate: the delayed Two-Choices
+  // protocol on the messaging driver under ZeroLatency samples the
+  // same process as the instant-response protocol on the plain
+  // superposition and heap engines — an answer posted with zero delay
+  // is applied before the next tick, so the delayed run is the instant
+  // run with a different RNG-consumption order.
+  const std::uint64_t n = 512;
+  const CompleteGraph g(n);
+  constexpr std::uint64_t kReps = 40;
+
+  const ZeroLatency zero;
+  const SeedSequence seeds(80);
+  std::vector<double> delayed_times;
+  delayed_times.reserve(kReps);
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+    Xoshiro256 rng = seeds.make_rng(rep);
+    TwoChoicesAsyncDelayed proto(g, assign_two_colors(n, (n * 3) / 4, rng));
+    const auto result = run_continuous_messaging(proto, zero, rng, 1e6);
+    EXPECT_TRUE(result.consensus);
+    delayed_times.push_back(result.time);
+  }
+
+  auto make = [&](Xoshiro256& rng) {
+    return TwoChoicesAsync<CompleteGraph>(
+        g, assign_two_colors(n, (n * 3) / 4, rng));
+  };
+  const auto sup = consensus_times(make, Engine::kSuperposition, kReps, 90);
+  const auto heap = consensus_times(make, Engine::kHeap, kReps, 100);
+
+  const Summary sd = summarize(delayed_times);
+  const Summary ss = summarize(sup);
+  const Summary sh = summarize(heap);
+  EXPECT_NEAR(sd.mean, ss.mean,
+              sd.ci95_halfwidth + ss.ci95_halfwidth + 1.0);
+  EXPECT_NEAR(sd.mean, sh.mean,
+              sd.ci95_halfwidth + sh.ci95_halfwidth + 1.0);
+  EXPECT_LT(ks_statistic(delayed_times, sup), 0.45);
+  EXPECT_LT(ks_statistic(delayed_times, heap), 0.45);
 }
 
 }  // namespace

@@ -97,6 +97,8 @@ int toy_experiment(ExperimentContext& ctx) {
 // Registered at static-init time, exactly like the bench/ experiments.
 const ExperimentRegistrar kToyRegistrar{
     "test_toy", "toy experiment used by the registry unit tests",
+    "Catalog paragraph of the toy experiment: records one fixed series "
+    "so the registry tests can assert on the record schema.",
     /*default_reps=*/4, toy_experiment};
 
 TEST(Registry, RegistrarMakesExperimentDiscoverable) {
@@ -116,12 +118,24 @@ TEST(Registry, RegistrarMakesExperimentDiscoverable) {
 
 TEST(Registry, RejectsDuplicateAndMalformedRegistrations) {
   auto& registry = ExperimentRegistry::instance();
-  EXPECT_THROW(registry.add(Experiment{"test_toy", "dup", 1, toy_experiment}),
-               ContractViolation);
-  EXPECT_THROW(registry.add(Experiment{"", "anon", 1, toy_experiment}),
-               ContractViolation);
-  EXPECT_THROW(registry.add(Experiment{"test_norun", "no body", 1, nullptr}),
-               ContractViolation);
+  EXPECT_THROW(
+      registry.add(Experiment{"test_toy", "dup", "", 1, toy_experiment}),
+      ContractViolation);
+  EXPECT_THROW(
+      registry.add(Experiment{"", "anon", "", 1, toy_experiment}),
+      ContractViolation);
+  EXPECT_THROW(
+      registry.add(Experiment{"test_norun", "no body", "", 1, nullptr}),
+      ContractViolation);
+}
+
+TEST(Registry, ExperimentsCarryCatalogDescribe) {
+  // The generated docs/EXPERIMENTS.md is only useful if every
+  // registered experiment ships a catalog paragraph.
+  for (const Experiment* e : ExperimentRegistry::instance().list()) {
+    EXPECT_FALSE(e->describe.empty())
+        << "experiment '" << e->name << "' has no describe() paragraph";
+  }
 }
 
 TEST(Registry, RunToRecordEmitsSchemaValidJson) {
@@ -146,11 +160,15 @@ TEST(Registry, RunToRecordEmitsSchemaValidJson) {
   EXPECT_EQ(parsed.find("exit_code")->as_u64(), 0u);
   EXPECT_GE(parsed.find("wall_clock_seconds")->as_double(), 0.0);
 
-  // Shared knobs resolve from the CLI.
+  // Shared knobs resolve from the CLI. No latency flag was passed and
+  // the toy never drives a latency model, so the record carries
+  // neither the flags nor a latency_effective claim.
   const JsonValue* params = parsed.find("params");
   ASSERT_TRUE(params->is_object());
   EXPECT_EQ(params->find("seed")->as_u64(), 7u);
   EXPECT_EQ(params->find("reps")->as_u64(), 3u);
+  EXPECT_FALSE(params->has("latency"));
+  EXPECT_FALSE(params->has("latency_effective"));
 
   // The recorded series carries raw samples plus Welford aggregates.
   const JsonValue* series = parsed.find("series");
@@ -167,6 +185,66 @@ TEST(Registry, RunToRecordEmitsSchemaValidJson) {
   EXPECT_DOUBLE_EQ(entry.find("stderr")->as_double(), 1.0 / std::sqrt(3.0));
   EXPECT_DOUBLE_EQ(entry.find("min")->as_double(), 1.0);
   EXPECT_DOUBLE_EQ(entry.find("max")->as_double(), 3.0);
+}
+
+// A toy that drives a latency model, so tests can assert on the
+// latency_effective attribution.
+int latency_toy_experiment(ExperimentContext& ctx) {
+  const auto model = ctx.latency.make();
+  ctx.note_effective_latency(model->name());
+  std::vector<double> samples(ctx.reps, 1.0);
+  ctx.record("latency_toy_series", {{"n", 1}}, samples);
+  return 0;
+}
+
+const ExperimentRegistrar kLatencyToyRegistrar{
+    "test_toy_latency", "latency-consuming toy for the registry tests",
+    "Catalog paragraph of the latency toy: mints the requested latency "
+    "model and notes it, so tests can assert on latency_effective.",
+    /*default_reps=*/2, latency_toy_experiment};
+
+TEST(Registry, RecordsResolvedLatencyModel) {
+  const auto& registry = ExperimentRegistry::instance();
+  const Experiment* toy = registry.find("test_toy");
+  const Experiment* latency_toy = registry.find("test_toy_latency");
+  ASSERT_NE(toy, nullptr);
+  ASSERT_NE(latency_toy, nullptr);
+
+  // Explicit flags reach params via the raw-args echo plus the
+  // resolved per-family shape default; the model is only *attributed*
+  // (latency_effective) when the experiment actually drives it.
+  const Args args = make_args({"--latency=pareto", "--latency-mean=0.5"});
+  const JsonValue record = registry.run_to_record(*latency_toy, args);
+  const JsonValue* params = record.find("params");
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(params->find("latency")->as_string(), "pareto");
+  EXPECT_DOUBLE_EQ(params->find("latency-mean")->as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(params->find("latency-shape")->as_double(), 2.5);
+  EXPECT_EQ(params->find("latency_effective")->as_string(), "pareto");
+
+  // The plain toy ignores --latency: the flags are still echoed (like
+  // any unconsumed override) but no model is claimed as effective.
+  const JsonValue ignored = registry.run_to_record(*toy, args);
+  const JsonValue* toy_params = ignored.find("params");
+  ASSERT_NE(toy_params, nullptr);
+  EXPECT_EQ(toy_params->find("latency")->as_string(), "pareto");
+  EXPECT_FALSE(toy_params->has("latency_effective"));
+
+  // Malformed triples die at context construction, on the main thread,
+  // with the flag names in the message.
+  EXPECT_THROW(registry.run_to_record(
+                   *toy, make_args({"--latency=uniform"})),
+               ContractViolation);
+  EXPECT_THROW(registry.run_to_record(
+                   *toy, make_args({"--latency=exp", "--latency-mean=0"})),
+               ContractViolation);
+  try {
+    registry.run_to_record(
+        *toy, make_args({"--latency=pareto", "--latency-shape=1.0"}));
+    FAIL() << "invalid shape must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("--latency"), std::string::npos);
+  }
 }
 
 TEST(Registry, EndToEndRealExperimentProducesValidRecord) {

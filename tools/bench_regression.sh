@@ -26,6 +26,9 @@ run --exp=crash_faults         --reps=2 --n=1024
 run --exp=delta_ablation       --reps=2 --n=1024
 run --exp=endgame              --reps=3 --max_n=8192 --n=4096
 # Scale keeps this baseline above bench_diff's --min-seconds floor so
+# the latency-model sweep is actually gated in CI.
+run --exp=latency_models       --reps=4 --n=4096
+# Scale keeps this baseline above bench_diff's --min-seconds floor so
 # the M1b/M1c engine comparison is actually gated in CI.
 run --exp=microbench_engines   --reps=2 --iters=200000 --n=4096 --m1c_iters=2000000
 run --exp=microbench_rng       --reps=2 --iters=100000

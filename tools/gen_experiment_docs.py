@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Generate (or verify) docs/EXPERIMENTS.md from the experiment registry.
+
+The registry inside the `plurality_exp` binary is the single source of
+truth for the experiment catalog; `--describe-all` prints it as
+deterministic markdown. This script wraps that invocation:
+
+    tools/gen_experiment_docs.py --binary build/plurality_exp          # write
+    tools/gen_experiment_docs.py --binary build/plurality_exp --check  # CI gate
+
+`--check` exits non-zero (with a unified diff) when the checked-in file
+drifts from the registry — add or edit an experiment's registrar and
+rerun without --check to refresh.
+"""
+
+import argparse
+import difflib
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--binary",
+        default="build/plurality_exp",
+        help="path to the plurality_exp binary (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        default="docs/EXPERIMENTS.md",
+        help="catalog file to write or verify (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify only: fail if the file differs from the registry",
+    )
+    args = parser.parse_args()
+
+    result = subprocess.run(
+        [args.binary, "--describe-all"],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        sys.stderr.write(result.stderr)
+        sys.stderr.write(f"error: '{args.binary} --describe-all' failed "
+                         f"with exit code {result.returncode}\n")
+        return 1
+    generated = result.stdout
+
+    out_path = pathlib.Path(args.out)
+    if args.check:
+        current = out_path.read_text() if out_path.exists() else ""
+        if current == generated:
+            print(f"{out_path} is up to date with the registry")
+            return 0
+        sys.stderr.writelines(
+            difflib.unified_diff(
+                current.splitlines(keepends=True),
+                generated.splitlines(keepends=True),
+                fromfile=str(out_path),
+                tofile="registry (--describe-all)",
+            )
+        )
+        sys.stderr.write(
+            f"\nerror: {out_path} is stale; regenerate it with "
+            f"`{sys.argv[0]} --binary {args.binary}`\n"
+        )
+        return 1
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(generated)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
