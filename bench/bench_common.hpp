@@ -13,11 +13,16 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "experiment/args.hpp"
 #include "experiment/registry.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/table.hpp"
+#include "graph/factory.hpp"
+#include "opinion/placement.hpp"
 #include "rng/seed.hpp"
 #include "sim/engine_select.hpp"
 #include "stats/quantiles.hpp"
@@ -53,6 +58,117 @@ inline void warn_messaging_engine_once() {
                  "driver; ignoring --engine= and running on the "
                  "superposition-based delivery engine\n";
   }
+}
+
+/// Once per process: --placement=community was requested on a topology
+/// without a community partition.
+inline void warn_community_placement_fallback_once() {
+  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
+  if (!warned.test_and_set()) {
+    std::cerr << "warning: --placement=community needs a topology with "
+                 "communities (--graph=sbm); placing uniformly instead\n";
+  }
+}
+
+/// The graph spec an experiment will actually build: the experiment's
+/// default kind unless the user passed --graph=, with the full
+/// --graph* flag family from the context applied either way (so a
+/// family knob like --graph-degree= is honored without --graph=).
+inline GraphSpec resolved_graph_spec(const ExperimentContext& ctx,
+                                     GraphKind experiment_default) {
+  GraphSpec spec = ctx.graph;
+  if (!ctx.args.has_flag("graph")) spec.kind = experiment_default;
+  return spec;
+}
+
+/// Builds the topology for one sweep point from the resolved spec and
+/// attributes the built family into the record (graph_effective).
+/// Random families draw their edges from `build_rng`; the torus rounds
+/// n down to floor(sqrt n)^2, so read the realized size back via
+/// num_nodes().
+inline AnyGraph make_topology(const ExperimentContext& ctx, std::uint64_t n,
+                              Xoshiro256& build_rng,
+                              GraphKind experiment_default =
+                                  GraphKind::kComplete) {
+  const GraphSpec spec = resolved_graph_spec(ctx, experiment_default);
+  ctx.note_effective_graph(graph_kind_name(spec.kind));
+  return make_graph(spec, n, build_rng);
+}
+
+/// Builds the topology and runs `fn(g)` on the concrete graph type —
+/// the one-std::visit-per-sweep-point pattern every factory-driven
+/// experiment shares.
+template <typename Fn>
+auto with_topology(const ExperimentContext& ctx, std::uint64_t n,
+                   Xoshiro256& build_rng, Fn&& fn,
+                   GraphKind experiment_default = GraphKind::kComplete) {
+  return std::visit(std::forward<Fn>(fn),
+                    make_topology(ctx, n, build_rng, experiment_default));
+}
+
+/// Places an exact count profile onto the nodes of `g` according to an
+/// explicit placement spec (the sweep form used by W1). The placement
+/// that actually ran is attributed into the record via
+/// placement_effective: a community-aligned request on a topology
+/// without communities falls back to uniform with a once-per-process
+/// warning rather than mislabeling the samples.
+template <typename G>
+Assignment place_with(const ExperimentContext& ctx,
+                      const PlacementSpec& placement, const G& g,
+                      std::vector<std::uint64_t> counts, Xoshiro256& rng) {
+  switch (placement.kind) {
+    case PlacementKind::kUniform:
+      break;
+    case PlacementKind::kCommunityAligned:
+      if constexpr (HasCommunities<G>) {
+        ctx.note_effective_placement(
+            placement_kind_name(PlacementKind::kCommunityAligned));
+        return place_community_aligned(counts, g.communities(),
+                                       placement.fraction, rng);
+      } else {
+        warn_community_placement_fallback_once();
+      }
+      break;
+    case PlacementKind::kAdversarialBoundary: {
+      const TopologyView<G> view(g);
+      ctx.note_effective_placement(
+          placement_kind_name(PlacementKind::kAdversarialBoundary));
+      if constexpr (HasCommunities<G>) {
+        return place_adversarial_boundary(counts, view, g.communities(), rng);
+      } else {
+        return place_adversarial_boundary(counts, view, {}, rng);
+      }
+    }
+    case PlacementKind::kClusteredBfs: {
+      const TopologyView<G> view(g);
+      ctx.note_effective_placement(
+          placement_kind_name(PlacementKind::kClusteredBfs));
+      return place_clustered_bfs(counts, view, rng);
+    }
+  }
+  ctx.note_effective_placement(placement_kind_name(PlacementKind::kUniform));
+  return place_uniform(counts, rng);
+}
+
+/// Places an exact count profile onto the nodes of `g` according to
+/// --placement= (default uniform, the historical behavior — identical
+/// RNG draws).
+template <typename G>
+Assignment place_on(const ExperimentContext& ctx, const G& g,
+                    std::vector<std::uint64_t> counts, Xoshiro256& rng) {
+  return place_with(ctx, ctx.placement, g, std::move(counts), rng);
+}
+
+/// AnyGraph overload: dispatches to the concrete topology once, at the
+/// placement (not tick) level.
+inline Assignment place_on(const ExperimentContext& ctx, const AnyGraph& g,
+                           std::vector<std::uint64_t> counts,
+                           Xoshiro256& rng) {
+  return std::visit(
+      [&](const auto& graph) {
+        return place_on(ctx, graph, std::move(counts), rng);
+      },
+      g);
 }
 
 /// Runs one *messaging* protocol instance under the given latency

@@ -49,7 +49,9 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 3, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           auto proto = AsyncOneExtraBit<CompleteGraph>::make(
-              g, assign_plurality_bias(n, k_fixed, bias, rng));
+              g, bench::place_on(ctx, g,
+                                 counts_plurality_bias(n, k_fixed, bias),
+                                 rng));
           budget = static_cast<double>(proto.schedule().total_length());
           const auto result =
               bench::run_async(ctx, EngineKind::kSequential, proto, rng, 1e6);
@@ -97,13 +99,17 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 4, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           auto oeb = AsyncOneExtraBit<CompleteGraph>::make(
-              g, assign_plurality_bias(n, static_cast<ColorId>(k), bias,
-                                       rng));
+              g, bench::place_on(
+                     ctx, g,
+                     counts_plurality_bias(n, static_cast<ColorId>(k), bias),
+                     rng));
           const auto oeb_result =
               bench::run_async(ctx, EngineKind::kSequential, oeb, rng, 1e6);
           TwoChoicesAsync tc(
-              g, assign_plurality_bias(n, static_cast<ColorId>(k), bias,
-                                       rng));
+              g, bench::place_on(
+                     ctx, g,
+                     counts_plurality_bias(n, static_cast<ColorId>(k), bias),
+                     rng));
           const auto tc_result =
               bench::run_async(ctx, EngineKind::kSequential, tc, rng, 1e6);
           return std::vector<double>{

@@ -39,7 +39,8 @@ int run_exp(ExperimentContext& ctx) {
         [&](std::uint64_t, Xoshiro256& rng) {
           const auto rates = make_rates(rng);
           auto proto = AsyncOneExtraBit<CompleteGraph>::make(
-              g, assign_plurality_bias(n, k, bias, rng));
+              g, bench::place_on(ctx, g, counts_plurality_bias(n, k, bias),
+                                 rng));
           const auto result =
               run_continuous_heterogeneous(proto, rng, rates, 1e5);
           return std::vector<double>{

@@ -45,7 +45,8 @@ int run_exp(ExperimentContext& ctx) {
           [&](std::uint64_t, Xoshiro256& rng) {
             const auto plan =
                 crash_fraction_plan(n, fraction, crash_tick, rng);
-            auto workload = assign_plurality_bias(n, k, bias, rng);
+            auto workload = bench::place_on(
+                ctx, g, counts_plurality_bias(n, k, bias), rng);
             if (phased) {
               CrashAdapter<AsyncOneExtraBit<CompleteGraph>> proto(
                   AsyncOneExtraBit<CompleteGraph>::make(

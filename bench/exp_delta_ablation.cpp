@@ -42,7 +42,9 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 3, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           auto proto = AsyncOneExtraBit<CompleteGraph>::make(
-              g, assign_plurality_bias(n, k, bias, rng), params);
+              g, bench::place_on(ctx, g, counts_plurality_bias(n, k, bias),
+                                 rng),
+              params);
           delta = proto.schedule().delta();
           budget = static_cast<double>(proto.schedule().total_length());
           double max_poor = 0.0;

@@ -1,13 +1,16 @@
 // E8 — §3.2 (the endgame): once part 1 has driven the plurality to
 // support (1 - eps) n, plain asynchronous Two-Choices finishes
 // consensus within O(log n) time w.h.p. The tables sweep n at fixed eps
-// (time ~ ln n) and eps at fixed n.
+// (time ~ ln n) and eps at fixed n. The topology and the initial
+// placement are scenario axes: --graph= swaps the clique for any
+// factory family and --placement= starts the endgame from a clustered
+// rather than uniformly mixed (1-eps)n configuration.
 
 #include <cmath>
 
 #include "bench_common.hpp"
 #include "core/two_choices.hpp"
-#include "graph/complete.hpp"
+#include "graph/factory.hpp"
 #include "opinion/assignment.hpp"
 #include "sim/sequential_engine.hpp"
 
@@ -22,6 +25,7 @@ int run_exp(ExperimentContext& ctx) {
 
   const std::uint64_t max_n = ctx.args.get_u64("max_n", 1ull << 17);
   const double eps_fixed = ctx.args.get_double("eps", 0.1);
+  Xoshiro256 build_rng(ctx.master_seed);
 
   Table by_n("E8a: endgame time vs n  (k=2, c1=(1-eps)n, eps=" +
                  std::to_string(eps_fixed) + ")",
@@ -30,67 +34,82 @@ int run_exp(ExperimentContext& ctx) {
   std::vector<double> ys;
   std::uint64_t sweep_point = 0;
   for (std::uint64_t n = 2048; n <= max_n; n *= 2, ++sweep_point) {
-    const CompleteGraph g(n);
-    const auto c1 = static_cast<std::uint64_t>(
-        (1.0 - eps_fixed) * static_cast<double>(n));
-    const auto seeds = ctx.seeds_for(sweep_point);
-    const auto slots = run_repetitions_multi(
-        ctx.reps, 2, seeds,
-        [&](std::uint64_t, Xoshiro256& rng) {
-          TwoChoicesAsync proto(g, assign_two_colors(n, c1, rng));
-          const auto result =
-              bench::run_async(ctx, EngineKind::kSequential, proto, rng, 1e6);
-          return std::vector<double>{
-              result.time,
-              (result.consensus && result.winner == 0) ? 1.0 : 0.0};
-        },
-        ctx.threads);
-    ctx.record("endgame_time_vs_n", {{"n", n}, {"eps", eps_fixed}}, slots[0]);
-    const Summary time = summarize(slots[0]);
-    const Summary wins = summarize(slots[1]);
-    by_n.row()
-        .cell(n)
-        .cell(time.mean, 2)
-        .cell(time.ci95_halfwidth, 2)
-        .cell(time.p90, 2)
-        .cell(wins.mean, 2)
-        .cell(time.mean / std::log(static_cast<double>(n)), 3);
-    xs.push_back(static_cast<double>(n));
-    ys.push_back(time.mean);
+    bench::with_topology(
+        ctx, n, build_rng,
+        [&](const auto& g) {
+          const std::uint64_t n_eff = g.num_nodes();
+          const auto c1 = static_cast<std::uint64_t>(
+              (1.0 - eps_fixed) * static_cast<double>(n_eff));
+          const auto seeds = ctx.seeds_for(sweep_point);
+          const auto slots = run_repetitions_multi(
+              ctx.reps, 2, seeds,
+              [&](std::uint64_t, Xoshiro256& rng) {
+                TwoChoicesAsync proto(
+                    g, bench::place_on(ctx, g, counts_two_colors(n_eff, c1),
+                                       rng));
+                const auto result = bench::run_async(
+                    ctx, EngineKind::kSequential, proto, rng, 1e6);
+                return std::vector<double>{
+                    result.time,
+                    (result.consensus && result.winner == 0) ? 1.0 : 0.0};
+              },
+              ctx.threads);
+          ctx.record("endgame_time_vs_n", {{"n", n_eff}, {"eps", eps_fixed}},
+                     slots[0]);
+          const Summary time = summarize(slots[0]);
+          const Summary wins = summarize(slots[1]);
+          by_n.row()
+              .cell(n_eff)
+              .cell(time.mean, 2)
+              .cell(time.ci95_halfwidth, 2)
+              .cell(time.p90, 2)
+              .cell(wins.mean, 2)
+              .cell(time.mean / std::log(static_cast<double>(n_eff)), 3);
+          xs.push_back(static_cast<double>(n_eff));
+          ys.push_back(time.mean);
+        });
   }
   by_n.print(std::cout, ctx.csv);
   bench::report_fit(ctx, "endgame time = a + b*ln(n) fit", fit_log_x(xs, ys));
 
   const std::uint64_t n = ctx.args.get_u64("n", 1ull << 14);
-  const CompleteGraph g(n);
-  Table by_eps("E8b: endgame time vs eps  (n=" + std::to_string(n) + ")",
-               {"eps", "c1/n", "mean_time", "ci95", "win_rate"});
-  for (const double eps : {0.02, 0.05, 0.1, 0.2, 0.3}) {
-    const auto c1 =
-        static_cast<std::uint64_t>((1.0 - eps) * static_cast<double>(n));
-    const auto seeds = ctx.seeds_for(sweep_point++);
-    const auto slots = run_repetitions_multi(
-        ctx.reps, 2, seeds,
-        [&](std::uint64_t, Xoshiro256& rng) {
-          TwoChoicesAsync proto(g, assign_two_colors(n, c1, rng));
-          const auto result =
-              bench::run_async(ctx, EngineKind::kSequential, proto, rng, 1e6);
-          return std::vector<double>{
-              result.time,
-              (result.consensus && result.winner == 0) ? 1.0 : 0.0};
-        },
-        ctx.threads);
-    ctx.record("endgame_time_vs_eps", {{"n", n}, {"eps", eps}}, slots[0]);
-    const Summary time = summarize(slots[0]);
-    const Summary wins = summarize(slots[1]);
-    by_eps.row()
-        .cell(eps, 2)
-        .cell(1.0 - eps, 2)
-        .cell(time.mean, 2)
-        .cell(time.ci95_halfwidth, 2)
-        .cell(wins.mean, 2);
-  }
-  by_eps.print(std::cout, ctx.csv);
+  bench::with_topology(
+      ctx, n, build_rng,
+      [&](const auto& g) {
+        const std::uint64_t n_eff = g.num_nodes();
+        Table by_eps("E8b: endgame time vs eps  (n=" +
+                         std::to_string(n_eff) + ")",
+                     {"eps", "c1/n", "mean_time", "ci95", "win_rate"});
+        for (const double eps : {0.02, 0.05, 0.1, 0.2, 0.3}) {
+          const auto c1 = static_cast<std::uint64_t>(
+              (1.0 - eps) * static_cast<double>(n_eff));
+          const auto seeds = ctx.seeds_for(sweep_point++);
+          const auto slots = run_repetitions_multi(
+              ctx.reps, 2, seeds,
+              [&](std::uint64_t, Xoshiro256& rng) {
+                TwoChoicesAsync proto(
+                    g, bench::place_on(ctx, g, counts_two_colors(n_eff, c1),
+                                       rng));
+                const auto result = bench::run_async(
+                    ctx, EngineKind::kSequential, proto, rng, 1e6);
+                return std::vector<double>{
+                    result.time,
+                    (result.consensus && result.winner == 0) ? 1.0 : 0.0};
+              },
+              ctx.threads);
+          ctx.record("endgame_time_vs_eps", {{"n", n_eff}, {"eps", eps}},
+                     slots[0]);
+          const Summary time = summarize(slots[0]);
+          const Summary wins = summarize(slots[1]);
+          by_eps.row()
+              .cell(eps, 2)
+              .cell(1.0 - eps, 2)
+              .cell(time.mean, 2)
+              .cell(time.ci95_halfwidth, 2)
+              .cell(wins.mean, 2);
+        }
+        by_eps.print(std::cout, ctx.csv);
+      });
   return 0;
 }
 
@@ -104,7 +123,8 @@ const ExperimentRegistrar kRegistrar{
     "hands over to. Sweeps n (doubling up to --max_n=) at fixed "
     "--eps=, then sweeps eps at fixed n. Records `endgame_time_vs_n` "
     "and `endgame_time_vs_eps`. Overrides: --n=, --max_n=, --eps=, "
-    "--engine=.",
+    "--engine=, --graph= (any factory family), --placement= (start "
+    "the endgame from a non-uniform residual configuration).",
     /*default_reps=*/20, run_exp};
 
 }  // namespace

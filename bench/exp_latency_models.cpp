@@ -45,7 +45,9 @@ std::vector<std::vector<double>> run_cell(ExperimentContext& ctx,
   return run_repetitions_multi(
       ctx.reps, 2, seeds,
       [&](std::uint64_t, Xoshiro256& rng) {
-        Proto proto(g, assign_two_colors(n, (n * 3) / 4, rng));
+        Proto proto(g, bench::place_on(ctx, g,
+                                       counts_two_colors(n, (n * 3) / 4),
+                                       rng));
         const auto result =
             bench::run_messaging(ctx, proto, model, rng, 1e5);
         return std::vector<double>{result.time,
@@ -186,7 +188,8 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, ctx.seeds_for(1000),
         [&](std::uint64_t, Xoshiro256& rng) {
           TwoChoicesAsync<CompleteGraph> proto(
-              g, assign_two_colors(n, (n * 3) / 4, rng));
+              g, bench::place_on(ctx, g, counts_two_colors(n, (n * 3) / 4),
+                                 rng));
           ctx.note_effective_engine(
               engine_kind_name(EngineKind::kSharded));
           ctx.note_effective_latency(latency.name());
@@ -199,7 +202,8 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, ctx.seeds_for(1001),
         [&](std::uint64_t, Xoshiro256& rng) {
           TwoChoicesAsyncDelayed<CompleteGraph> proto(
-              g, assign_two_colors(n, (n * 3) / 4, rng),
+              g, bench::place_on(ctx, g, counts_two_colors(n, (n * 3) / 4),
+                                 rng),
               QueryDiscipline::kFireAndForget);
           return bench::run_messaging(ctx, proto, latency, rng, 1e5)
               .time;

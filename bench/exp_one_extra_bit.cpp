@@ -41,12 +41,16 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 4, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           OneExtraBitSync oeb(
-              g, assign_plurality_bias(n, static_cast<ColorId>(k), bias,
-                                       rng));
+              g, bench::place_on(
+                     ctx, g,
+                     counts_plurality_bias(n, static_cast<ColorId>(k), bias),
+                     rng));
           const auto oeb_result = run_sync(oeb, rng, 1000000);
           TwoChoicesSync tc(
-              g, assign_plurality_bias(n, static_cast<ColorId>(k), bias,
-                                       rng));
+              g, bench::place_on(
+                     ctx, g,
+                     counts_plurality_bias(n, static_cast<ColorId>(k), bias),
+                     rng));
           const auto tc_result = run_sync(tc, rng, 1000000);
           return std::vector<double>{
               static_cast<double>(oeb_result.rounds),
@@ -92,8 +96,11 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 2, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           OneExtraBitSync proto(
-              gg, assign_plurality_bias(nn, static_cast<ColorId>(k_fixed),
-                                        bias, rng));
+              gg, bench::place_on(ctx, gg,
+                                  counts_plurality_bias(
+                                      nn, static_cast<ColorId>(k_fixed),
+                                      bias),
+                                  rng));
           const auto result = run_sync(proto, rng, 1000000);
           return std::vector<double>{
               static_cast<double>(result.rounds),

@@ -38,7 +38,8 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 3, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           auto proto = AsyncOneExtraBit<CompleteGraph>::make(
-              g, assign_plurality_bias(n, k, bias, rng));
+              g, bench::place_on(ctx, g, counts_plurality_bias(n, k, bias),
+                                 rng));
           const auto result = bench::run_async(
               ctx, EngineKind::kSuperposition, proto, rng, 1e5);
           return std::vector<double>{
@@ -68,7 +69,8 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 3, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           auto proto = AsyncOneExtraBitDelayed<CompleteGraph>::make(
-              g, assign_plurality_bias(n, k, bias, rng));
+              g, bench::place_on(ctx, g, counts_plurality_bias(n, k, bias),
+                                 rng));
           const auto result =
               bench::run_messaging(ctx, proto, latency, rng, 1e5);
           return std::vector<double>{

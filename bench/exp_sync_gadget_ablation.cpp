@@ -55,7 +55,9 @@ int run_exp(ExperimentContext& ctx) {
           ctx.reps, 4, seeds,
           [&](std::uint64_t, Xoshiro256& rng) {
             auto proto = AsyncOneExtraBit<CompleteGraph>::make(
-                g, assign_plurality_bias(n, 8, bias, rng), params);
+                g, bench::place_on(ctx, g,
+                                   counts_plurality_bias(n, 8, bias), rng),
+                params);
             delta = static_cast<double>(proto.schedule().delta());
             phases = static_cast<double>(proto.schedule().num_phases());
             SpreadProbe probe;

@@ -8,7 +8,7 @@
 
 #include "bench_common.hpp"
 #include "core/two_choices.hpp"
-#include "graph/complete.hpp"
+#include "graph/factory.hpp"
 #include "opinion/assignment.hpp"
 #include "sim/sync_driver.hpp"
 
@@ -16,14 +16,9 @@ using namespace plurality;
 
 namespace {
 
-int run_exp(ExperimentContext& ctx) {
-  bench::banner(ctx, "E2 (Theorem 1.1 lower)",
-                "with c2=...=ck, Two-Choices requires Omega(n/c1) = "
-                "Omega(k) rounds; rounds should grow ~linearly in k");
-
-  const std::uint64_t n = ctx.args.get_u64("n", 1ull << 14);
-  const std::uint64_t max_k = ctx.args.get_u64("max_k", 64);
-  const CompleteGraph g(n);
+template <GraphTopology G>
+int run_tables(ExperimentContext& ctx, const G& g, std::uint64_t max_k) {
+  const std::uint64_t n = g.num_nodes();
 
   // ---- Table 2a: the theorem's exact workload. Note the bound is
   // Omega(n/c1 + log n): fixing bias = sqrt(n ln n) inflates c1 at
@@ -44,8 +39,9 @@ int run_exp(ExperimentContext& ctx) {
     const auto slots = run_repetitions_multi(
         ctx.reps, 2, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
-          auto workload = assign_plurality_bias(
-              n, static_cast<ColorId>(k), bias, rng);
+          auto workload = bench::place_on(
+              ctx, g, counts_plurality_bias(n, static_cast<ColorId>(k), bias),
+              rng);
           realized_c1 = workload.counts[0];
           TwoChoicesSync proto(g, std::move(workload));
           const auto result = run_sync(proto, rng, 1000000);
@@ -91,8 +87,9 @@ int run_exp(ExperimentContext& ctx) {
     const auto slots = run_repetitions_multi(
         ctx.reps, 2, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
-          auto workload = assign_plurality_bias(
-              n, static_cast<ColorId>(k), bias, rng);
+          auto workload = bench::place_on(
+              ctx, g, counts_plurality_bias(n, static_cast<ColorId>(k), bias),
+              rng);
           realized_c1 = workload.counts[0];
           TwoChoicesSync proto(g, std::move(workload));
           const auto result = run_sync(proto, rng, 1000000);
@@ -119,6 +116,19 @@ int run_exp(ExperimentContext& ctx) {
   return 0;
 }
 
+int run_exp(ExperimentContext& ctx) {
+  bench::banner(ctx, "E2 (Theorem 1.1 lower)",
+                "with c2=...=ck, Two-Choices requires Omega(n/c1) = "
+                "Omega(k) rounds; rounds should grow ~linearly in k");
+
+  const std::uint64_t n = ctx.args.get_u64("n", 1ull << 14);
+  const std::uint64_t max_k = ctx.args.get_u64("max_k", 64);
+  Xoshiro256 build_rng(ctx.master_seed);
+  return bench::with_topology(
+      ctx, n, build_rng,
+      [&](const auto& g) { return run_tables(ctx, g, max_k); });
+}
+
 const ExperimentRegistrar kRegistrar{
     "two_choices_lower_bound",
     "E2 (Theorem 1.1 lower): with c2=...=ck tied, sync Two-Choices needs "
@@ -128,7 +138,8 @@ const ExperimentRegistrar kRegistrar{
     "sync Two-Choices rounds under both the theorem's bias and a "
     "near-tie bias. Records `rounds_theorem_bias` and "
     "`rounds_neartie_bias`; the ~linear growth in k is the claim "
-    "OneExtraBit escapes. Overrides: --n=, --max_k=.",
+    "OneExtraBit escapes. Overrides: --n=, --max_k=, --graph=, "
+    "--placement=.",
     /*default_reps=*/10, run_exp};
 
 }  // namespace

@@ -7,7 +7,7 @@
 
 #include "bench_common.hpp"
 #include "core/two_choices.hpp"
-#include "graph/complete.hpp"
+#include "graph/factory.hpp"
 #include "opinion/assignment.hpp"
 #include "sim/sync_driver.hpp"
 
@@ -21,6 +21,7 @@ int run_exp(ExperimentContext& ctx) {
                 "bias >= z*sqrt(n log n); with k=2 that is O(log n)");
 
   const std::uint64_t max_n = ctx.args.get_u64("max_n", 1ull << 17);
+  Xoshiro256 build_rng(ctx.master_seed);
 
   Table table("E1: sync Two-Choices rounds vs n  (k=2, bias=sqrt(n ln n))",
               {"n", "bias", "mean_rounds", "ci95", "median", "p90",
@@ -29,38 +30,45 @@ int run_exp(ExperimentContext& ctx) {
   std::vector<double> ys;
 
   std::uint64_t sweep_point = 0;
-  for (std::uint64_t n = 1024; n <= max_n; n *= 2, ++sweep_point) {
-    const auto bias = static_cast<std::uint64_t>(std::sqrt(
-        static_cast<double>(n) * std::log(static_cast<double>(n))));
-    const CompleteGraph g(n);
-    const auto seeds = ctx.seeds_for(sweep_point);
+  for (std::uint64_t n_req = 1024; n_req <= max_n;
+       n_req *= 2, ++sweep_point) {
+    bench::with_topology(
+        ctx, n_req, build_rng,
+        [&](const auto& g) {
+          const std::uint64_t n = g.num_nodes();
+          const auto bias = static_cast<std::uint64_t>(std::sqrt(
+              static_cast<double>(n) * std::log(static_cast<double>(n))));
+          const auto seeds = ctx.seeds_for(sweep_point);
 
-    const auto slots = run_repetitions_multi(
-        ctx.reps, 2, seeds,
-        [&](std::uint64_t, Xoshiro256& rng) {
-          TwoChoicesSync proto(
-              g, assign_two_colors(n, n / 2 + bias / 2, rng));
-          const auto result = run_sync(proto, rng, 100000);
-          return std::vector<double>{
-              static_cast<double>(result.rounds),
-              (result.consensus && result.winner == 0) ? 1.0 : 0.0};
-        },
-        ctx.threads);
+          const auto slots = run_repetitions_multi(
+              ctx.reps, 2, seeds,
+              [&](std::uint64_t, Xoshiro256& rng) {
+                TwoChoicesSync proto(
+                    g, bench::place_on(
+                           ctx, g, counts_two_colors(n, n / 2 + bias / 2),
+                           rng));
+                const auto result = run_sync(proto, rng, 100000);
+                return std::vector<double>{
+                    static_cast<double>(result.rounds),
+                    (result.consensus && result.winner == 0) ? 1.0 : 0.0};
+              },
+              ctx.threads);
 
-    ctx.record("rounds_vs_n", {{"n", n}, {"bias", bias}}, slots[0]);
-    const Summary rounds = summarize(slots[0]);
-    const Summary wins = summarize(slots[1]);
-    table.row()
-        .cell(n)
-        .cell(bias)
-        .cell(rounds.mean, 1)
-        .cell(rounds.ci95_halfwidth, 1)
-        .cell(rounds.median, 1)
-        .cell(rounds.p90, 1)
-        .cell(wins.mean, 2)
-        .cell(rounds.mean / std::log(static_cast<double>(n)), 2);
-    xs.push_back(static_cast<double>(n));
-    ys.push_back(rounds.mean);
+          ctx.record("rounds_vs_n", {{"n", n}, {"bias", bias}}, slots[0]);
+          const Summary rounds = summarize(slots[0]);
+          const Summary wins = summarize(slots[1]);
+          table.row()
+              .cell(n)
+              .cell(bias)
+              .cell(rounds.mean, 1)
+              .cell(rounds.ci95_halfwidth, 1)
+              .cell(rounds.median, 1)
+              .cell(rounds.p90, 1)
+              .cell(wins.mean, 2)
+              .cell(rounds.mean / std::log(static_cast<double>(n)), 2);
+          xs.push_back(static_cast<double>(n));
+          ys.push_back(rounds.mean);
+        });
   }
 
   table.print(std::cout, ctx.csv);
@@ -76,7 +84,7 @@ const ExperimentRegistrar kRegistrar{
     "two-color sync Two-Choices with bias sqrt(n ln n), sweeping n "
     "(doubling up to --max_n=). Records `rounds_vs_n`; the fit of "
     "rounds against log n should be linear with slope O(1). Overrides: "
-    "--max_n=.",
+    "--max_n=, --graph= (any factory family), --placement=.",
     /*default_reps=*/10, run_exp};
 
 }  // namespace

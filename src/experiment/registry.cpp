@@ -129,6 +129,27 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
   if (args.has_flag("latency")) {
     params["latency-shape"] = ctx.latency.shape;
   }
+  // Same policy for the graph axis: when a topology was requested by
+  // kind, echo the resolved family parameters (not just the explicitly
+  // passed ones) so the record is replayable without knowing the
+  // defaults of this build.
+  if (args.has_flag("graph")) {
+    switch (ctx.graph.kind) {
+      case GraphKind::kErdosRenyi:
+        params["graph-p"] = ctx.graph.er_p;
+        break;
+      case GraphKind::kRandomRegular:
+        params["graph-degree"] = ctx.graph.degree;
+        break;
+      case GraphKind::kSbm:
+        params["graph-blocks"] = ctx.graph.blocks;
+        params["graph-pin"] = ctx.graph.p_in;
+        params["graph-pout"] = ctx.graph.p_out;
+        break;
+      default:
+        break;
+    }
+  }
   for (const auto& [key, value] : args.raw()) {
     if (!params.has(key) && !is_plumbing_key(key)) {
       params[key] = typed_param(value);
@@ -151,6 +172,20 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
   if (const auto latencies = ctx.effective_latencies();
       !latencies.empty()) {
     params["latency_effective"] = join_comma(latencies);
+  }
+  // The placements that actually produced workloads (mirroring
+  // engine_effective): a community-aligned request can fall back to
+  // uniform on a topology without communities, and records must not
+  // claim an adversarial start their samples never had.
+  if (const auto placements = ctx.effective_placements();
+      !placements.empty()) {
+    params["placement_effective"] = join_comma(placements);
+  }
+  // The topology families actually built (same policy): clique-pinned
+  // experiments echo a --graph= request like any unconsumed override,
+  // and the absence of graph_effective is what says it was ignored.
+  if (const auto graphs = ctx.effective_graphs(); !graphs.empty()) {
+    params["graph_effective"] = join_comma(graphs);
   }
   record["params"] = std::move(params);
 

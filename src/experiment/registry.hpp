@@ -28,6 +28,8 @@
 
 #include "experiment/args.hpp"
 #include "experiment/json_writer.hpp"
+#include "graph/factory.hpp"
+#include "opinion/placement.hpp"
 #include "rng/seed.hpp"
 #include "sim/engine_select.hpp"
 #include "sim/latency.hpp"
@@ -78,6 +80,34 @@ class ExperimentContext {
                       "combination: ") +
           e.what());
     }
+    // Resolve and validate the --graph*/--placement* scenario axes on
+    // the main thread too: unknown names and out-of-range rates must
+    // fail loudly at parse time (naming the flag), never inside a
+    // worker lambda and never by silently running the default scenario
+    // under an adversarial-sounding label.
+    graph.kind = parse_graph_kind(args.get_string("graph", "complete"));
+    graph.er_p = args.get_double("graph-p", graph.er_p);
+    // Range-check before narrowing: a u64 that wraps to a small u32
+    // would silently run a different scenario than requested.
+    const auto get_u32 = [&](const char* key, std::uint32_t fallback) {
+      const std::uint64_t value = args.get_u64(key, fallback);
+      if (value > 0xFFFFFFFFull) {
+        throw ContractViolation(std::string("--") + key +
+                                " expects a 32-bit value, got " +
+                                std::to_string(value));
+      }
+      return static_cast<std::uint32_t>(value);
+    };
+    graph.degree = get_u32("graph-degree", graph.degree);
+    graph.blocks = get_u32("graph-blocks", graph.blocks);
+    graph.p_in = args.get_double("graph-pin", graph.p_in);
+    graph.p_out = args.get_double("graph-pout", graph.p_out);
+    graph.validate();
+    placement.kind =
+        parse_placement_kind(args.get_string("placement", "uniform"));
+    placement.fraction =
+        args.get_double("placement-fraction", placement.fraction);
+    placement.validate();
   }
 
   Args args;
@@ -88,6 +118,9 @@ class ExperimentContext {
   unsigned shards;     ///< --shards=, resolved (0 -> hardware concurrency)
   bool csv;
   LatencySpec latency;  ///< resolved --latency/--latency-mean/--latency-shape
+  GraphSpec graph;      ///< resolved --graph/--graph-p/--graph-degree/
+                        ///< --graph-blocks/--graph-pin/--graph-pout
+  PlacementSpec placement;  ///< resolved --placement/--placement-fraction
 
   /// Independent seed stream for one sweep point of the experiment.
   SeedSequence seeds_for(std::uint64_t sweep_point) const {
@@ -141,11 +174,50 @@ class ExperimentContext {
     return latencies_used_;
   }
 
+  /// Called by the bench harness with the placement that actually
+  /// produced a workload (bench_common::place_on): a community-aligned
+  /// request on a topology without communities falls back to uniform,
+  /// and the record must say so. Collected into the JSON record as
+  /// params.placement_effective, mirroring engine_effective /
+  /// latency_effective. Thread-safe (repetition bodies run on workers).
+  void note_effective_placement(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    placements_used_.insert(name);
+  }
+
+  /// Called by the bench harness with a topology family it actually
+  /// built (bench_common::make_topology and the factory-driven
+  /// sweeps). Collected as params.graph_effective: several experiments
+  /// are pinned to the clique (the phased OneExtraBit family), so a
+  /// --graph= request is echoed like any unconsumed override but must
+  /// not read as "these samples ran on that graph" unless a build is
+  /// attributed here. Thread-safe (repetition bodies run on workers).
+  void note_effective_graph(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    graphs_used_.insert(name);
+  }
+
+  /// All topology families noted during the run, sorted; empty when
+  /// the experiment never built a graph through the factory helpers.
+  std::set<std::string> effective_graphs() const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    return graphs_used_;
+  }
+
+  /// All placements noted during the run, sorted; empty when the
+  /// experiment never placed a workload through the placement layer.
+  std::set<std::string> effective_placements() const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    return placements_used_;
+  }
+
  private:
   JsonValue series_ = JsonValue::array();
   mutable std::mutex engines_mutex_;
   mutable std::set<std::string> engines_used_;
   mutable std::set<std::string> latencies_used_;
+  mutable std::set<std::string> placements_used_;
+  mutable std::set<std::string> graphs_used_;
 };
 
 /// A registered experiment.

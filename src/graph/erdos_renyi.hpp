@@ -32,6 +32,10 @@ class ErdosRenyiGraph {
     return adjacency_.sample_neighbor(u, rng);
   }
 
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return adjacency_.neighbors(u);
+  }
+
  private:
   AdjacencyList adjacency_;
   std::uint64_t isolated_ = 0;

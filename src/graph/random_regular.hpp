@@ -33,6 +33,10 @@ class RandomRegularGraph {
     return adjacency_.sample_neighbor(u, rng);
   }
 
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return adjacency_.neighbors(u);
+  }
+
  private:
   AdjacencyList adjacency_;
   std::uint64_t defects_ = 0;

@@ -6,6 +6,7 @@
 /// contrast to the clique.
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "rng/distributions.hpp"
@@ -30,6 +31,14 @@ class RingGraph {
       return static_cast<NodeId>(v == n_ ? 0 : v);
     }
     return static_cast<NodeId>(u == 0 ? n_ - 1 : u - 1);
+  }
+
+  /// Appends the two ring neighbors of u (for the placement layer).
+  void append_neighbors(NodeId u, std::vector<NodeId>& out) const {
+    PC_EXPECTS(u < n_);
+    out.push_back(static_cast<NodeId>(u == 0 ? n_ - 1 : u - 1));
+    const std::uint64_t v = u + 1;
+    out.push_back(static_cast<NodeId>(v == n_ ? 0 : v));
   }
 
  private:

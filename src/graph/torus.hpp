@@ -5,6 +5,7 @@
 /// Mid-expansion topology for the extension experiment (A2).
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "rng/distributions.hpp"
@@ -44,6 +45,17 @@ class TorusGraph {
       default:  // north
         return node_at(x, y == 0 ? height_ - 1 : y - 1);
     }
+  }
+
+  /// Appends the four grid neighbors of u (for the placement layer).
+  void append_neighbors(NodeId u, std::vector<NodeId>& out) const {
+    PC_EXPECTS(u < num_nodes());
+    const std::uint32_t x = u % width_;
+    const std::uint32_t y = u / width_;
+    out.push_back(node_at(x + 1 == width_ ? 0 : x + 1, y));
+    out.push_back(node_at(x == 0 ? width_ - 1 : x - 1, y));
+    out.push_back(node_at(x, y + 1 == height_ ? 0 : y + 1));
+    out.push_back(node_at(x, y == 0 ? height_ - 1 : y - 1));
   }
 
  private:

@@ -54,7 +54,7 @@ Assignment assign_exact(const std::vector<std::uint64_t>& counts,
   return materialize(counts, rng);
 }
 
-Assignment assign_equal(std::uint64_t n, ColorId k, Xoshiro256& rng) {
+std::vector<std::uint64_t> counts_equal(std::uint64_t n, ColorId k) {
   PC_EXPECTS(k >= 1);
   PC_EXPECTS(n >= k);
   std::vector<std::uint64_t> counts(k, n / k);
@@ -62,11 +62,11 @@ Assignment assign_equal(std::uint64_t n, ColorId k, Xoshiro256& rng) {
   for (std::uint64_t i = 0; i < remainder; ++i) {
     ++counts[k - 1 - i];  // favor high indices, never color 0
   }
-  return materialize(std::move(counts), rng);
+  return counts;
 }
 
-Assignment assign_plurality_bias(std::uint64_t n, ColorId k,
-                                 std::uint64_t bias, Xoshiro256& rng) {
+std::vector<std::uint64_t> counts_plurality_bias(std::uint64_t n, ColorId k,
+                                                 std::uint64_t bias) {
   PC_EXPECTS(k >= 2);
   PC_EXPECTS(n >= k + bias);
   // c2 = ... = ck = floor((n - bias) / k); c1 absorbs bias + rounding, so
@@ -76,14 +76,28 @@ Assignment assign_plurality_bias(std::uint64_t n, ColorId k,
   std::vector<std::uint64_t> counts(k, minority);
   counts[0] = n - minority * (k - 1);
   PC_ASSERT(counts[0] >= minority + bias);
-  return materialize(std::move(counts), rng);
+  return counts;
+}
+
+std::vector<std::uint64_t> counts_two_colors(std::uint64_t n,
+                                             std::uint64_t c1) {
+  PC_EXPECTS(n >= 2);
+  PC_EXPECTS(c1 >= 1 && c1 <= n - 1);
+  return {c1, n - c1};
+}
+
+Assignment assign_equal(std::uint64_t n, ColorId k, Xoshiro256& rng) {
+  return materialize(counts_equal(n, k), rng);
+}
+
+Assignment assign_plurality_bias(std::uint64_t n, ColorId k,
+                                 std::uint64_t bias, Xoshiro256& rng) {
+  return materialize(counts_plurality_bias(n, k, bias), rng);
 }
 
 Assignment assign_two_colors(std::uint64_t n, std::uint64_t c1,
                              Xoshiro256& rng) {
-  PC_EXPECTS(n >= 2);
-  PC_EXPECTS(c1 >= 1 && c1 <= n - 1);
-  return materialize({c1, n - c1}, rng);
+  return materialize(counts_two_colors(n, c1), rng);
 }
 
 Assignment assign_geometric(std::uint64_t n, ColorId k, double ratio,

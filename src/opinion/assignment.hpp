@@ -32,6 +32,17 @@ struct Assignment {
 Assignment assign_exact(const std::vector<std::uint64_t>& counts,
                         Xoshiro256& rng);
 
+/// Count-profile builders: the deterministic support vectors behind the
+/// assign_* generators, exposed separately so the placement layer
+/// (opinion/placement.hpp) can position the same exact counts
+/// non-uniformly. assign_x(args, rng) == a uniform placement of
+/// counts_x(args).
+std::vector<std::uint64_t> counts_equal(std::uint64_t n, ColorId k);
+std::vector<std::uint64_t> counts_plurality_bias(std::uint64_t n, ColorId k,
+                                                 std::uint64_t bias);
+std::vector<std::uint64_t> counts_two_colors(std::uint64_t n,
+                                             std::uint64_t c1);
+
 /// As-equal-as-possible split of n nodes over k colors (remainder goes
 /// to the *highest* color indices so that color 0 is never favored by
 /// rounding). Requires k >= 1, n >= k.

@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file placement.hpp
+/// Placement generators: *where* an initial configuration sits on the
+/// topology, as an axis independent of *how many* nodes hold each
+/// color. The count-profile generators in assignment.hpp fix the
+/// support vector (c1, ..., ck); a placement maps that exact vector
+/// onto nodes. The paper's worst-case guarantees are stated over all
+/// initial configurations, yet a uniformly shuffled start is the
+/// *easiest* placement — community-correlated and cut-seeded starts
+/// shrink the effective bias a protocol sees (Becchetti et al.'s
+/// monochromatic distance, arXiv:1407.2565) and are the configurations
+/// an adversary would pick (Robinson–Scheideler–Setzer,
+/// arXiv:1805.00774).
+///
+/// Invariants shared by every placement:
+///   - counts are preserved *exactly*: the returned Assignment realizes
+///     the requested support vector, only positions differ;
+///   - randomness comes from the caller's stream only (fixed seed =>
+///     fixed placement), placements own no RNG;
+///   - color 0 keeps its meaning as the plurality color C1.
+///
+/// Topology access goes through NeighborView, a deliberately boring
+/// enumeration interface: placements run once per repetition, off the
+/// hot path, so virtual dispatch is free compared to graph building.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "opinion/assignment.hpp"
+#include "rng/xoshiro256.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+/// Read-only neighbor enumeration over a topology, for the placement
+/// heuristics (BFS balls, boundary scores). Not a protocol-facing
+/// interface: protocols keep sampling through GraphTopology.
+class NeighborView {
+ public:
+  virtual ~NeighborView() = default;
+  virtual std::uint64_t num_nodes() const = 0;
+  virtual std::uint64_t degree(NodeId u) const = 0;
+  /// Appends u's neighbors to `out` (does not clear it).
+  virtual void append_neighbors(NodeId u, std::vector<NodeId>& out) const = 0;
+};
+
+/// Topologies exposing a CSR row per node (adjacency-backed graphs).
+template <typename G>
+concept NeighborSpan = requires(const G g, NodeId u) {
+  { g.neighbors(u) };
+};
+
+/// Topologies enumerating neighbors in closed form (complete, ring,
+/// torus).
+template <typename G>
+concept NeighborAppend = requires(const G g, NodeId u,
+                                  std::vector<NodeId>& out) {
+  g.append_neighbors(u, out);
+};
+
+/// Topologies carrying a ground-truth community partition (SBM).
+template <typename G>
+concept HasCommunities = requires(const G g) {
+  { g.communities() };
+};
+
+/// Adapts any concrete topology to NeighborView.
+template <typename G>
+  requires NeighborSpan<G> || NeighborAppend<G>
+class TopologyView final : public NeighborView {
+ public:
+  explicit TopologyView(const G& graph) : graph_(&graph) {}
+
+  std::uint64_t num_nodes() const override { return graph_->num_nodes(); }
+  std::uint64_t degree(NodeId u) const override { return graph_->degree(u); }
+
+  void append_neighbors(NodeId u, std::vector<NodeId>& out) const override {
+    if constexpr (NeighborSpan<G>) {
+      const auto row = graph_->neighbors(u);
+      out.insert(out.end(), row.begin(), row.end());
+    } else {
+      graph_->append_neighbors(u, out);
+    }
+  }
+
+ private:
+  const G* graph_;
+};
+
+/// The registered placement families, as selected by `--placement=`.
+enum class PlacementKind : std::uint8_t {
+  kUniform,              ///< exact counts, uniformly shuffled (the
+                         ///< historical implicit behavior)
+  kCommunityAligned,     ///< plurality concentrated inside one block
+  kAdversarialBoundary,  ///< minorities seeded on high-conductance cuts
+  kClusteredBfs,         ///< each color one (or few) BFS ball(s)
+};
+
+inline const char* placement_kind_name(PlacementKind kind) noexcept {
+  switch (kind) {
+    case PlacementKind::kUniform: return "uniform";
+    case PlacementKind::kCommunityAligned: return "community";
+    case PlacementKind::kAdversarialBoundary: return "adversarial_boundary";
+    case PlacementKind::kClusteredBfs: return "clustered_bfs";
+  }
+  return "unknown";
+}
+
+/// Parses a `--placement=` value; throws ContractViolation (naming the
+/// offending text) on anything unrecognized.
+PlacementKind parse_placement_kind(const std::string& name);
+
+/// The resolved `--placement=` / `--placement-fraction=` pair carried
+/// by ExperimentContext; validated once on the main thread.
+struct PlacementSpec {
+  PlacementKind kind = PlacementKind::kUniform;
+  double fraction = 1.0;  ///< share of c1 aimed at the target community
+                          ///< (community placement only)
+
+  /// Throws ContractViolation naming --placement-fraction when the
+  /// fraction is outside (0, 1].
+  void validate() const;
+};
+
+/// Exact counts, uniformly shuffled over nodes — byte-identical to the
+/// historical assign_* behavior (same Fisher–Yates draws).
+Assignment place_uniform(const std::vector<std::uint64_t>& counts,
+                         Xoshiro256& rng);
+
+/// Concentrates the plurality color inside one community: at least
+/// ceil(fraction * c1) color-0 nodes land in the largest block (capped
+/// by the block size and by c1 itself); every other slot is filled
+/// uniformly from the remaining color pool. Requires a non-empty
+/// partition covering exactly sum(counts) nodes and fraction in (0, 1].
+Assignment place_community_aligned(
+    const std::vector<std::uint64_t>& counts,
+    const std::vector<std::vector<NodeId>>& communities, double fraction,
+    Xoshiro256& rng);
+
+/// Seeds the minority colors on the highest-conductance cut positions:
+/// nodes are ranked by (descending cross-community neighbor fraction,
+/// ascending degree, random tie-break) and colors 1..k-1 claim the top
+/// of the ranking in color order; the plurality fills the interior
+/// remainder. With an empty `communities` the cross fraction is zero
+/// everywhere and the ranking degenerates to (low degree, random).
+/// Requires sum(counts) == view.num_nodes().
+Assignment place_adversarial_boundary(
+    const std::vector<std::uint64_t>& counts, const NeighborView& view,
+    const std::vector<std::vector<NodeId>>& communities, Xoshiro256& rng);
+
+/// Grows one BFS ball per color (colors in descending count order, so
+/// the plurality gets a genuine ball before the minorities tile the
+/// rest): each color claims its exact count of nodes by breadth-first
+/// expansion through still-unclaimed nodes from a random unclaimed
+/// seed, re-seeding when a frontier exhausts (disconnected remainder).
+/// Requires sum(counts) == view.num_nodes().
+Assignment place_clustered_bfs(const std::vector<std::uint64_t>& counts,
+                               const NeighborView& view, Xoshiro256& rng);
+
+}  // namespace plurality

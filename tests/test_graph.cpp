@@ -10,9 +10,11 @@
 #include "graph/adjacency.hpp"
 #include "graph/complete.hpp"
 #include "graph/erdos_renyi.hpp"
+#include "graph/factory.hpp"
 #include "graph/graph.hpp"
 #include "graph/random_regular.hpp"
 #include "graph/ring.hpp"
+#include "graph/sbm.hpp"
 #include "graph/torus.hpp"
 #include "support/assert.hpp"
 
@@ -24,6 +26,7 @@ static_assert(GraphTopology<RingGraph>);
 static_assert(GraphTopology<TorusGraph>);
 static_assert(GraphTopology<ErdosRenyiGraph>);
 static_assert(GraphTopology<RandomRegularGraph>);
+static_assert(GraphTopology<StochasticBlockModelGraph>);
 
 TEST(CompleteGraph, NeverSamplesSelf) {
   const CompleteGraph g(10);
@@ -190,6 +193,209 @@ TEST(RandomRegular, NeighborsAreValid) {
     for (int i = 0; i < 10; ++i) {
       EXPECT_LT(g.sample_neighbor(u, rng), 64u);
     }
+  }
+}
+
+TEST(StochasticBlockModel, BlockSizesAreAsEqualAsPossible) {
+  Xoshiro256 rng(16);
+  const StochasticBlockModelGraph g(103, 4, 0.5, 0.1, rng);
+  EXPECT_EQ(g.num_nodes(), 103u);
+  EXPECT_EQ(g.num_blocks(), 4u);
+  // 103 = 26 + 26 + 26 + 25: the first n % B blocks get the extra node.
+  EXPECT_EQ(g.communities()[0].size(), 26u);
+  EXPECT_EQ(g.communities()[1].size(), 26u);
+  EXPECT_EQ(g.communities()[2].size(), 26u);
+  EXPECT_EQ(g.communities()[3].size(), 25u);
+  std::uint64_t covered = 0;
+  for (std::uint32_t b = 0; b < g.num_blocks(); ++b) {
+    for (const NodeId u : g.communities()[b]) {
+      EXPECT_EQ(g.block_of(u), b);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, g.num_nodes());
+}
+
+TEST(StochasticBlockModel, EdgeRatesMatchPinAndPout) {
+  Xoshiro256 rng(17);
+  const std::uint64_t n = 2000;
+  const std::uint32_t blocks = 4;
+  const double p_in = 0.1;
+  const double p_out = 0.01;
+  const StochasticBlockModelGraph g(n, blocks, p_in, p_out, rng);
+
+  // Within-pair count: B * s*(s-1)/2 with s = 500; between-pair count:
+  // C(B,2) * s^2. Compare realized edge counts against Binomial moments
+  // at 5 sigma.
+  const double s = 500.0;
+  const double within_pairs = blocks * s * (s - 1) / 2.0;
+  const double between_pairs = 6.0 * s * s;
+  const double within_mean = within_pairs * p_in;
+  const double within_sd = std::sqrt(within_pairs * p_in * (1 - p_in));
+  const double between_mean = between_pairs * p_out;
+  const double between_sd =
+      std::sqrt(between_pairs * p_out * (1 - p_out));
+  EXPECT_NEAR(static_cast<double>(g.num_within_edges()), within_mean,
+              5 * within_sd);
+  EXPECT_NEAR(static_cast<double>(g.num_between_edges()), between_mean,
+              5 * between_sd);
+  EXPECT_EQ(g.num_edges(), g.num_within_edges() + g.num_between_edges());
+}
+
+TEST(StochasticBlockModel, SamplesAreActualNeighborsAcrossBlocks) {
+  Xoshiro256 rng(18);
+  const StochasticBlockModelGraph g(120, 3, 0.5, 0.1, rng);
+  std::set<NodeId> cross_sampled;
+  for (NodeId u = 0; u < 120; ++u) {
+    if (g.degree(u) == 0) continue;
+    for (int i = 0; i < 20; ++i) {
+      const NodeId v = g.sample_neighbor(u, rng);
+      EXPECT_NE(v, u);
+      EXPECT_LT(v, 120u);
+      if (g.block_of(v) != g.block_of(u)) cross_sampled.insert(v);
+    }
+  }
+  EXPECT_FALSE(cross_sampled.empty());
+}
+
+TEST(StochasticBlockModel, ConnectedAtTheDefaultSweepPoint) {
+  // The default --graph=sbm sweep point (scaled down to n=1024):
+  // blocks=4, p_in=0.3, p_out=0.01 must give one connected component,
+  // or consensus experiments could never terminate.
+  Xoshiro256 rng(19);
+  const StochasticBlockModelGraph g(1024, 4, 0.3, 0.01, rng);
+  EXPECT_EQ(g.num_isolated(), 0u);
+  std::vector<bool> seen(1024, false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::uint64_t reached = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    ++reached;
+    for (const NodeId v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  EXPECT_EQ(reached, g.num_nodes());
+}
+
+TEST(StochasticBlockModel, RejectsOutOfRangeParameters) {
+  Xoshiro256 rng(20);
+  EXPECT_THROW(StochasticBlockModelGraph(100, 0, 0.5, 0.1, rng),
+               ContractViolation);
+  EXPECT_THROW(StochasticBlockModelGraph(100, 101, 0.5, 0.1, rng),
+               ContractViolation);
+  EXPECT_THROW(StochasticBlockModelGraph(100, 4, 0.0, 0.1, rng),
+               ContractViolation);
+  EXPECT_THROW(StochasticBlockModelGraph(100, 4, 0.5, 1.5, rng),
+               ContractViolation);
+}
+
+TEST(GraphFactory, ParsesEveryRegisteredKind) {
+  EXPECT_EQ(parse_graph_kind("complete"), GraphKind::kComplete);
+  EXPECT_EQ(parse_graph_kind("ring"), GraphKind::kRing);
+  EXPECT_EQ(parse_graph_kind("torus"), GraphKind::kTorus);
+  EXPECT_EQ(parse_graph_kind("er"), GraphKind::kErdosRenyi);
+  EXPECT_EQ(parse_graph_kind("regular"), GraphKind::kRandomRegular);
+  EXPECT_EQ(parse_graph_kind("sbm"), GraphKind::kSbm);
+  EXPECT_THROW(parse_graph_kind("smallworld"), ContractViolation);
+  try {
+    parse_graph_kind("smallworld");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--graph"), std::string::npos) << what;
+    EXPECT_NE(what.find("smallworld"), std::string::npos) << what;
+  }
+}
+
+TEST(GraphFactory, BuildsEveryKindWithTheRightSize) {
+  Xoshiro256 rng(21);
+  GraphSpec spec;
+  for (const GraphKind kind :
+       {GraphKind::kComplete, GraphKind::kRing, GraphKind::kTorus,
+        GraphKind::kErdosRenyi, GraphKind::kRandomRegular, GraphKind::kSbm}) {
+    spec.kind = kind;
+    const AnyGraph g = make_graph(spec, 100, rng);
+    // The torus rounds 100 down to 10x10 = 100; everything else is exact.
+    EXPECT_EQ(num_nodes(g), 100u) << spec.label();
+  }
+  spec.kind = GraphKind::kTorus;
+  EXPECT_EQ(num_nodes(make_graph(spec, 90, rng)), 81u);
+}
+
+TEST(GraphFactory, ValidationNamesTheFlag) {
+  Xoshiro256 rng(22);
+  GraphSpec spec;
+  spec.kind = GraphKind::kSbm;
+  spec.p_in = 1.5;
+  try {
+    make_graph(spec, 100, rng);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("--graph-pin"), std::string::npos)
+        << e.what();
+  }
+  spec.p_in = 0.3;
+  spec.p_out = -0.1;
+  EXPECT_THROW(make_graph(spec, 100, rng), ContractViolation);
+  spec.p_out = 0.01;
+  spec.blocks = 0;
+  EXPECT_THROW(spec.validate(), ContractViolation);
+  spec.blocks = 101;  // more blocks than nodes
+  EXPECT_THROW(make_graph(spec, 100, rng), ContractViolation);
+
+  GraphSpec regular;
+  regular.kind = GraphKind::kRandomRegular;
+  regular.degree = 3;  // odd degree * odd n violates handshake parity
+  try {
+    make_graph(regular, 99, rng);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("--graph-degree"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GraphFactory, ErdosRenyiAutoProbabilityConnects) {
+  Xoshiro256 rng(23);
+  GraphSpec spec;
+  spec.kind = GraphKind::kErdosRenyi;
+  const AnyGraph g = make_graph(spec, 512, rng);  // er_p = 0 -> 3 ln n / n
+  EXPECT_EQ(std::get<ErdosRenyiGraph>(g).num_isolated(), 0u);
+}
+
+TEST(GraphFactory, RejectsBuildsWithIsolatedNodes) {
+  // In-range rates that strand nodes must fail at build time with the
+  // flag named, not crash later inside sample_neighbor on a worker.
+  Xoshiro256 rng(24);
+  GraphSpec sparse_er;
+  sparse_er.kind = GraphKind::kErdosRenyi;
+  sparse_er.er_p = 0.0005;  // expected degree ~ 0.25: mostly isolated
+  try {
+    make_graph(sparse_er, 500, rng);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("--graph-p"), std::string::npos)
+        << e.what();
+  }
+
+  GraphSpec sparse_sbm;
+  sparse_sbm.kind = GraphKind::kSbm;
+  sparse_sbm.blocks = 2;
+  sparse_sbm.p_in = 0.001;
+  sparse_sbm.p_out = 0.0;
+  try {
+    make_graph(sparse_sbm, 400, rng);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("--graph-pin"), std::string::npos)
+        << e.what();
   }
 }
 

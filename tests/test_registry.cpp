@@ -247,6 +247,63 @@ TEST(Registry, RecordsResolvedLatencyModel) {
   }
 }
 
+TEST(Registry, RejectsInvalidScenarioFlags) {
+  // The scenario axes (--graph*, --placement*) are validated at context
+  // construction, on the main thread, with the flag names in the
+  // message — unknown names and out-of-range rates must never silently
+  // run the default scenario under an adversarial-sounding label.
+  const auto& registry = ExperimentRegistry::instance();
+  const Experiment* toy = registry.find("test_toy");
+  ASSERT_NE(toy, nullptr);
+
+  EXPECT_THROW(
+      registry.run_to_record(*toy, make_args({"--graph=smallworld"})),
+      ContractViolation);
+  EXPECT_THROW(registry.run_to_record(
+                   *toy, make_args({"--graph=sbm", "--graph-pin=0"})),
+               ContractViolation);
+  EXPECT_THROW(registry.run_to_record(
+                   *toy, make_args({"--graph=sbm", "--graph-pout=1.5"})),
+               ContractViolation);
+  EXPECT_THROW(
+      registry.run_to_record(*toy, make_args({"--placement=shuffle"})),
+      ContractViolation);
+  EXPECT_THROW(registry.run_to_record(
+                   *toy, make_args({"--placement=community",
+                                    "--placement-fraction=2"})),
+               ContractViolation);
+  try {
+    registry.run_to_record(*toy, make_args({"--graph=sbm",
+                                            "--graph-pin=1.5"}));
+    FAIL() << "invalid p_in must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("--graph-pin"), std::string::npos)
+        << e.what();
+  }
+
+  // Valid specs resolve into the context and (for a requested kind) the
+  // resolved family parameters land in the record.
+  const JsonValue record = registry.run_to_record(
+      *toy, make_args({"--graph=sbm", "--graph-blocks=8"}));
+  const JsonValue* params = record.find("params");
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(params->find("graph")->as_string(), "sbm");
+  EXPECT_EQ(params->find("graph-blocks")->as_u64(), 8u);
+  EXPECT_DOUBLE_EQ(params->find("graph-pin")->as_double(), 0.3);
+  EXPECT_DOUBLE_EQ(params->find("graph-pout")->as_double(), 0.01);
+  // The toy never places a workload or builds a topology, so neither
+  // axis is claimed as effective: the flag echo records the request,
+  // the missing *_effective keys record that it was ignored.
+  EXPECT_FALSE(params->has("placement_effective"));
+  EXPECT_FALSE(params->has("graph_effective"));
+
+  // A 2^32-wrapping degree must throw, not silently run d=8.
+  EXPECT_THROW(registry.run_to_record(
+                   *toy, make_args({"--graph=regular",
+                                    "--graph-degree=4294967304"})),
+               ContractViolation);
+}
+
 TEST(Registry, EndToEndRealExperimentProducesValidRecord) {
   // This test links the experiment object library, so the 17 migrated
   // bench experiments are registered here too. Run a real one, small.

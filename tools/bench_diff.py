@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Diff BENCH_*.json wall-clock times against the checked-in baselines.
+"""Diff BENCH_*.json records against the checked-in baselines.
 
 Usage: bench_diff.py BASELINE_DIR NEW_DIR [--ratio R] [--min-seconds S]
-                     [--normalize]
+                     [--normalize] [--series-z Z] [--series-rel F]
 
 Compares each experiment's wall_clock_seconds in NEW_DIR against the
 record of the same name in BASELINE_DIR. The tolerance is deliberately
@@ -13,11 +13,35 @@ recorded the baselines) and flags only experiments that regressed
 *relative to the rest of the suite*. Records whose baseline is below
 --min-seconds are reported but never fail (they are timer noise).
 Missing or failed (exit_code != 0) records always fail.
+
+With --series-z Z (> 0), the *measured values* are gated too, not just
+the wall clock: every series entry is matched by (name, params) across
+the two directories and the means are compared with a two-sample
+z-statistic, |m_new - m_base| / sqrt(se_base^2 + se_new^2). Runs are
+seed-deterministic, so on unchanged code the means are identical; a
+shift larger than Z combined standard errors *and* larger than
+--series-rel relative to the baseline mean means the sampled
+distribution itself moved — either a real behavioral regression or an
+intentional change that must come with refreshed baselines. Baseline
+series missing from the new record always fail (renames count as
+regressions in record continuity); new series with no baseline are
+reported only.
+
+Cross-host caveat: "seed-deterministic" holds per libm. Trajectories
+pass RNG draws through std::log/std::pow, which are not correctly
+rounded, so a runner with a different libm than the baseline host can
+produce a 1-ULP difference that reorders events and shifts a
+small-reps mean past the gate. If the series gate fails on a host
+change (glibc upgrade, new runner image) while the code is untouched,
+regenerate the baselines on the new host rather than loosening the
+gate.
 """
 
 import argparse
 import json
+import math
 import pathlib
+import re
 import statistics
 import sys
 
@@ -29,6 +53,59 @@ def load_records(directory):
             rec = json.load(f)
         records[rec["experiment"]] = rec
     return records
+
+
+def series_key(entry):
+    """(name, canonical params) — the identity of one measured series."""
+    return (entry["name"],
+            json.dumps(entry.get("params", {}), sort_keys=True))
+
+
+def diff_series(name, base_rec, new_rec, z_gate, rel_floor, skip_re):
+    """Stderr-aware mean comparison of every matched series entry.
+
+    Returns (failures, n_compared, worst_line). Entries with fewer than
+    2 samples (no stderr estimate) are compared for exact equality of
+    their single sample instead of z-scored. Series matching `skip_re`
+    (wall-time measurements like ns_per_op, which track the host rather
+    than the seeded process) are exempt.
+    """
+    base_series = {series_key(s): s for s in base_rec.get("series", [])}
+    new_series = {series_key(s): s for s in new_rec.get("series", [])}
+    failures = []
+    compared = 0
+    worst = (0.0, None)  # (z, line)
+    for key, base in sorted(base_series.items()):
+        if skip_re.search(base["name"]):
+            continue
+        label = f"{name}:{base['name']}{key[1]}"
+        new = new_series.get(key)
+        if new is None:
+            failures.append(f"{label}: series missing from new record")
+            continue
+        compared += 1
+        m0, m1 = base["mean"], new["mean"]
+        se = math.hypot(base.get("stderr", 0.0), new.get("stderr", 0.0))
+        delta = abs(m1 - m0)
+        rel = delta / abs(m0) if m0 != 0.0 else (0.0 if delta == 0.0
+                                                 else float("inf"))
+        if se > 0.0:
+            z = delta / se
+            if z > worst[0]:
+                worst = (z, f"{label}: base {m0:.4g} -> new {m1:.4g} "
+                            f"({z:.1f} combined stderr, {rel:.1%})")
+            if z > z_gate and rel > rel_floor:
+                failures.append(
+                    f"{label}: mean {m0:.4g} -> {m1:.4g} "
+                    f"({z:.1f} combined stderr > {z_gate:.1f}, "
+                    f"{rel:.1%} > {rel_floor:.0%})")
+        elif rel > rel_floor:
+            # No stderr on either side (reps < 2): seed-deterministic
+            # samples should still match to within the relative floor.
+            failures.append(
+                f"{label}: mean {m0:.4g} -> {m1:.4g} with no stderr "
+                f"estimate ({rel:.1%} > {rel_floor:.0%})")
+    return failures, compared, worst[1]
 
 
 def main():
@@ -49,6 +126,21 @@ def main():
                              "above this even under --normalize, so a "
                              "broad regression cannot hide inside the "
                              "median it shifts (default 10.0)")
+    parser.add_argument("--series-z", type=float, default=0.0,
+                        help="also gate per-series means: fail when a "
+                             "matched series' means differ by more than "
+                             "this many combined standard errors (0 "
+                             "disables, default 0; 6 is a generous gate)")
+    parser.add_argument("--series-rel", type=float, default=0.10,
+                        help="relative-change floor for the series gate: "
+                             "shifts below this fraction of the baseline "
+                             "mean never fail even at high z (default "
+                             "0.10)")
+    parser.add_argument("--series-skip", default=r"^ns_per_",
+                        help="regex of series names exempt from the mean "
+                             "gate — wall-time measurements that track "
+                             "the host, not the seeded process (default "
+                             "'^ns_per_')")
     args = parser.parse_args()
 
     baseline = load_records(args.baseline_dir)
@@ -94,6 +186,25 @@ def main():
             failures.append(f"{name}: {ratio:.2f}x raw regression")
         else:
             print(f"  ok    {line}")
+
+    if args.series_z > 0:
+        skip_re = re.compile(args.series_skip)
+        print(f"\nper-series mean gate (z > {args.series_z:.1f} and "
+              f"rel > {args.series_rel:.0%}, skipping "
+              f"'{args.series_skip}'):")
+        total_compared = 0
+        for name in sorted(comparable):
+            series_failures, compared, worst = diff_series(
+                name, baseline[name], new[name], args.series_z,
+                args.series_rel, skip_re)
+            total_compared += compared
+            for failure in series_failures:
+                print(f"  FAIL  {failure}")
+                failures.append(failure)
+            if not series_failures and worst is not None:
+                print(f"  ok    {worst}")
+        print(f"  compared {total_compared} series across "
+              f"{len(comparable)} experiments")
 
     extra = sorted(set(new) - set(baseline))
     for name in extra:

@@ -19,6 +19,10 @@ mkdir -p "$OUT_DIR"
 
 run() { "$BIN" --out-dir="$OUT_DIR" --csv "$@" > /dev/null; }
 
+# Scale keeps this baseline above bench_diff's --min-seconds floor (the
+# censored community/clustered placements burn the full horizon) so the
+# placement sweep is actually gated in CI.
+run --exp=adversarial_placements --reps=3 --n=1024 --horizon=2000
 run --exp=async_main           --reps=2 --k=4 --max_n=8192 --n=4096
 run --exp=bias_threshold       --reps=4 --n=4096
 run --exp=clock_skew           --reps=2 --n=1024
@@ -26,8 +30,11 @@ run --exp=crash_faults         --reps=2 --n=1024
 run --exp=delta_ablation       --reps=2 --n=1024
 run --exp=endgame              --reps=3 --max_n=8192 --n=4096
 # Scale keeps this baseline above bench_diff's --min-seconds floor so
-# the latency-model sweep is actually gated in CI.
-run --exp=latency_models       --reps=4 --n=4096
+# the latency-model sweep is actually gated in CI. --shards is pinned:
+# the const_fold_sharded series keys on the resolved shard count, and
+# an unpinned --shards=0 resolves to the host's core count, which would
+# make the series identity (and so the --series-z gate) host-dependent.
+run --exp=latency_models       --reps=4 --n=4096 --shards=1
 # Scale keeps this baseline above bench_diff's --min-seconds floor so
 # the M1b/M1c engine comparison is actually gated in CI.
 run --exp=microbench_engines   --reps=2 --iters=200000 --n=4096 --m1c_iters=2000000
