@@ -7,6 +7,11 @@
 /// prints the paper claim it regenerates, renders its tables via
 /// experiment/table.hpp, and records its headline series through
 /// ctx.record() so each run also emits a structured JSON record.
+///
+/// The run dispatch itself lives in run_plan.hpp: experiments resolve
+/// a RunPlan once (bench::make_plan) and hand every protocol instance
+/// to bench::run / bench::run_queued, the single engine × latency
+/// entry point.
 
 #include <atomic>
 #include <cstdint>
@@ -24,41 +29,12 @@
 #include "graph/factory.hpp"
 #include "opinion/placement.hpp"
 #include "rng/seed.hpp"
+#include "run_plan.hpp"
 #include "sim/engine_select.hpp"
 #include "stats/quantiles.hpp"
 #include "stats/regression.hpp"
 
 namespace plurality::bench {
-
-/// The engine an experiment body runs a protocol on: the experiment's
-/// default asynchronous model unless the user passed --engine=.
-inline EngineKind engine_for(const ExperimentContext& ctx,
-                             EngineKind experiment_default) {
-  return ctx.engine.empty() ? experiment_default
-                            : parse_engine_kind(ctx.engine);
-}
-
-/// Once per process (a plain function, not a template, so the flag is
-/// shared by every protocol instantiation).
-inline void warn_sharded_fallback_once() {
-  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
-  if (!warned.test_and_set()) {
-    std::cerr << "warning: --engine=sharded is not supported by this "
-                 "protocol (no propose()); running on the superposition "
-                 "engine instead\n";
-  }
-}
-
-/// Once per process: a messaging (delayed-response) run was asked to
-/// use an engine without a delivery queue.
-inline void warn_messaging_engine_once() {
-  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
-  if (!warned.test_and_set()) {
-    std::cerr << "warning: delayed-response runs require the messaging "
-                 "driver; ignoring --engine= and running on the "
-                 "superposition-based delivery engine\n";
-  }
-}
 
 /// Once per process: --placement=community was requested on a topology
 /// without a community partition.
@@ -169,54 +145,6 @@ inline Assignment place_on(const ExperimentContext& ctx, const AnyGraph& g,
         return place_on(ctx, graph, std::move(counts), rng);
       },
       g);
-}
-
-/// Runs one *messaging* protocol instance under the given latency
-/// model. Messaging protocols always ride the superposition-based
-/// delivery driver (the only engine with a message queue); any other
-/// --engine= request falls back to it with a once-per-process warning,
-/// and the record's params.engine_effective says "superposition" so the
-/// JSON stays truthful. The latency draws come from `rng` via the
-/// driver (see continuous_engine.hpp); `model` must outlive the run.
-template <MessagingProtocol P, typename Obs = NullObserver>
-AsyncRunResult run_messaging(const ExperimentContext& ctx, P& proto,
-                             const LatencyModel& model, Xoshiro256& rng,
-                             double max_time, Obs&& obs = Obs{},
-                             double sample_every = 1.0) {
-  if (!ctx.engine.empty() &&
-      parse_engine_kind(ctx.engine) != EngineKind::kSuperposition) {
-    warn_messaging_engine_once();
-  }
-  ctx.note_effective_engine(
-      engine_kind_name(EngineKind::kSuperposition));
-  ctx.note_effective_latency(model.name());
-  return run_continuous_messaging(proto, model, rng, max_time,
-                                  std::forward<Obs>(obs), sample_every);
-}
-
-/// Runs one protocol instance on the engine selected by --engine=
-/// (default: `experiment_default`, preserving each experiment's
-/// historical model). The sharded engine derives its per-shard streams
-/// from a word of `rng`; the other engines leave the stream untouched
-/// relative to the pre---engine harness. A --engine=sharded request for
-/// a protocol that is not shardable falls back to the superposition
-/// engine with a once-per-process stderr warning, so BENCH records
-/// claiming engine=sharded cannot silently hold superposition samples.
-template <typename P, typename Obs = NullObserver>
-AsyncRunResult run_async(const ExperimentContext& ctx,
-                         EngineKind experiment_default, P& proto,
-                         Xoshiro256& rng, double max_time, Obs&& obs = Obs{},
-                         double sample_every = 1.0) {
-  const EngineKind kind = engine_for(ctx, experiment_default);
-  const EngineKind effective = effective_engine_kind<P>(kind);
-  if (effective != kind) warn_sharded_fallback_once();
-  ctx.note_effective_engine(engine_kind_name(effective));
-  const std::uint64_t shard_seed =
-      effective == EngineKind::kSharded ? rng() : 0;
-  // Dispatch on `effective`, the same value that was just recorded, so
-  // the JSON label and the engine that runs can never diverge.
-  return run_async_engine(effective, proto, rng, shard_seed, ctx.shards,
-                          max_time, std::forward<Obs>(obs), sample_every);
 }
 
 /// Prints the experiment banner: id, paper claim, reproduce command.

@@ -26,6 +26,7 @@
 #include "bench_common.hpp"
 #include "core/three_majority.hpp"
 #include "core/two_choices.hpp"
+#include "graph/csr.hpp"
 #include "graph/factory.hpp"
 #include "opinion/assignment.hpp"
 #include "opinion/placement.hpp"
@@ -41,32 +42,35 @@ struct Cell {
 };
 
 template <template <GraphTopology> class Proto>
-Cell run_cell(ExperimentContext& ctx, const AnyGraph& any,
+Cell run_cell(ExperimentContext& ctx, const bench::RunPlan& plan,
+              const AnyGraph& any, const CsrTopology& csr,
               const char* protocol, const PlacementSpec& placement,
               std::uint64_t c1, double c1_frac, double horizon,
               std::uint64_t sweep_point, const std::string& topology) {
-  std::vector<std::vector<double>> slots;
-  std::visit(
-      [&](const auto& g) {
-        using G = std::decay_t<decltype(g)>;
-        const std::uint64_t n = g.num_nodes();
-        const auto seeds = ctx.seeds_for(sweep_point);
-        slots = run_repetitions_multi(
-            ctx.reps, 3, seeds,
-            [&](std::uint64_t, Xoshiro256& rng) {
-              Proto<G> proto(g, bench::place_with(ctx, placement, g,
-                                                  counts_two_colors(n, c1),
-                                                  rng));
-              const auto result = bench::run_async(
-                  ctx, EngineKind::kSuperposition, proto, rng, horizon);
-              return std::vector<double>{
-                  result.time,
-                  (result.consensus && result.winner == 0) ? 1.0 : 0.0,
-                  result.consensus ? 1.0 : 0.0};
-            },
-            ctx.threads);
+  // The protocol runs on the flat CSR view (one instantiation, shared
+  // by all engines incl. the sharded workers); the placement runs on
+  // the concrete graph, which knows its communities and cut structure.
+  const std::uint64_t n = csr.num_nodes();
+  const auto seeds = ctx.seeds_for(sweep_point);
+  const auto place = [&](Xoshiro256& rng) {
+    return std::visit(
+        [&](const auto& g) {
+          return bench::place_with(ctx, placement, g,
+                                   counts_two_colors(n, c1), rng);
+        },
+        any);
+  };
+  const auto slots = run_repetitions_multi(
+      ctx.reps, 3, seeds,
+      [&](std::uint64_t, Xoshiro256& rng) {
+        Proto<CsrTopology> proto(csr, place(rng));
+        const auto result = bench::run(plan, proto, rng, horizon);
+        return std::vector<double>{
+            result.time,
+            (result.consensus && result.winner == 0) ? 1.0 : 0.0,
+            result.consensus ? 1.0 : 0.0};
       },
-      any);
+      ctx.threads);
   ctx.record("time_vs_placement",
              {{"protocol", protocol},
               {"placement", placement_kind_name(placement.kind)},
@@ -89,19 +93,21 @@ int run_exp(ExperimentContext& ctx) {
                 "the winner): uniform << boundary-seeded < "
                 "community-aligned/clustered");
 
+  const bench::RunPlan plan =
+      bench::make_plan(ctx, EngineKind::kSuperposition, GraphKind::kSbm);
+
   const std::uint64_t n = ctx.args.get_u64("n", 1ull << 12);
   const double c1_frac = ctx.args.get_double("c1-frac", 0.55);
   PC_EXPECTS(c1_frac > 0.0 && c1_frac < 1.0);
   const double horizon = ctx.args.get_double("horizon", 5000.0);
 
   Xoshiro256 build_rng(ctx.master_seed);
-  const AnyGraph any =
-      bench::make_topology(ctx, n, build_rng, GraphKind::kSbm);
+  const AnyGraph any = bench::topology(plan, n, build_rng);
+  const CsrTopology csr = make_csr_view(any);
   const std::uint64_t n_eff = num_nodes(any);
   const auto c1 = static_cast<std::uint64_t>(
       c1_frac * static_cast<double>(n_eff));
-  const std::string topology =
-      bench::resolved_graph_spec(ctx, GraphKind::kSbm).label();
+  const std::string topology = plan.graph.label();
 
   // --placement= restricts the sweep; otherwise compare all families,
   // uniform first (it is the baseline of the separation check).
@@ -133,12 +139,12 @@ int run_exp(ExperimentContext& ctx) {
     };
     const Row rows[] = {
         {"two_choices",
-         run_cell<TwoChoicesAsync>(ctx, any, "two_choices", placement, c1,
-                                   c1_frac, horizon, sweep_point * 2,
-                                   topology)},
+         run_cell<TwoChoicesAsync>(ctx, plan, any, csr, "two_choices",
+                                   placement, c1, c1_frac, horizon,
+                                   sweep_point * 2, topology)},
         {"three_majority",
-         run_cell<ThreeMajorityAsync>(ctx, any, "three_majority", placement,
-                                      c1, c1_frac, horizon,
+         run_cell<ThreeMajorityAsync>(ctx, plan, any, csr, "three_majority",
+                                      placement, c1, c1_frac, horizon,
                                       sweep_point * 2 + 1, topology)},
     };
     ++sweep_point;
@@ -202,7 +208,10 @@ const ExperimentRegistrar kRegistrar{
     "--n=, --c1-frac=, --horizon=, --placement= (restrict to one "
     "family), --placement-fraction=, --graph= and the --graph-* knobs "
     "(swap the topology; placement-oblivious families collapse the "
-    "contrast), --engine=.",
+    "contrast), --engine= (incl. sharded with --shards=T — protocols "
+    "run on the flat CSR view, so the parallel engine drives every "
+    "composition), --latency= (compose a response-latency model, "
+    "blocking discipline on the sharded delivery queues).",
     /*default_reps=*/10, run_exp};
 
 }  // namespace

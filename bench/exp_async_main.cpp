@@ -25,6 +25,8 @@ int run_exp(ExperimentContext& ctx) {
                 "async OneExtraBit solves plurality consensus in "
                 "Theta(log n) time, independent of k (k small vs n); "
                 "async Two-Choices pays ~linearly in k");
+  const bench::RunPlan plan =
+      bench::make_plan(ctx, EngineKind::kSequential);
 
   const std::uint64_t max_n = ctx.args.get_u64("max_n", 1ull << 16);
   const std::uint32_t k_fixed =
@@ -54,7 +56,7 @@ int run_exp(ExperimentContext& ctx) {
                                  rng));
           budget = static_cast<double>(proto.schedule().total_length());
           const auto result =
-              bench::run_async(ctx, EngineKind::kSequential, proto, rng, 1e6);
+              bench::run(plan, proto, rng, 1e6);
           return std::vector<double>{
               result.time,
               (result.consensus && result.winner == 0) ? 1.0 : 0.0,
@@ -104,14 +106,14 @@ int run_exp(ExperimentContext& ctx) {
                      counts_plurality_bias(n, static_cast<ColorId>(k), bias),
                      rng));
           const auto oeb_result =
-              bench::run_async(ctx, EngineKind::kSequential, oeb, rng, 1e6);
+              bench::run(plan, oeb, rng, 1e6);
           TwoChoicesAsync tc(
               g, bench::place_on(
                      ctx, g,
                      counts_plurality_bias(n, static_cast<ColorId>(k), bias),
                      rng));
           const auto tc_result =
-              bench::run_async(ctx, EngineKind::kSequential, tc, rng, 1e6);
+              bench::run(plan, tc, rng, 1e6);
           return std::vector<double>{
               oeb_result.time,
               (oeb_result.consensus && oeb_result.winner == 0) ? 1.0 : 0.0,

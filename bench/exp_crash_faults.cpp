@@ -23,6 +23,8 @@ int run_exp(ExperimentContext& ctx) {
                 "survivors should still agree (live agreement ~ 1) for "
                 "moderate crash fractions; crashed nodes pin stale "
                 "colors so global consensus is lost");
+  const bench::RunPlan plan =
+      bench::make_plan(ctx, EngineKind::kSequential);
 
   const std::uint64_t n = ctx.args.get_u64("n", 1ull << 12);
   const CompleteGraph g(n);
@@ -43,7 +45,7 @@ int run_exp(ExperimentContext& ctx) {
       const auto slots = run_repetitions_multi(
           ctx.reps, 2, seeds,
           [&](std::uint64_t, Xoshiro256& rng) {
-            const auto plan =
+            const auto crashes =
                 crash_fraction_plan(n, fraction, crash_tick, rng);
             auto workload = bench::place_on(
                 ctx, g, counts_plurality_bias(n, k, bias), rng);
@@ -51,17 +53,15 @@ int run_exp(ExperimentContext& ctx) {
               CrashAdapter<AsyncOneExtraBit<CompleteGraph>> proto(
                   AsyncOneExtraBit<CompleteGraph>::make(
                       g, std::move(workload)),
-                  plan);
-              const auto result = bench::run_async(
-                  ctx, EngineKind::kSequential, proto, rng, 2000.0);
+                  crashes);
+              const auto result = bench::run(plan, proto, rng, 2000.0);
               return std::vector<double>{proto.live_agreement(),
                                          result.consensus ? 1.0 : 0.0};
             }
             CrashAdapter<TwoChoicesAsync<CompleteGraph>> proto(
                 TwoChoicesAsync<CompleteGraph>(g, std::move(workload)),
-                plan);
-            const auto result = bench::run_async(
-                ctx, EngineKind::kSequential, proto, rng, 2000.0);
+                crashes);
+            const auto result = bench::run(plan, proto, rng, 2000.0);
             return std::vector<double>{proto.live_agreement(),
                                        result.consensus ? 1.0 : 0.0};
           },

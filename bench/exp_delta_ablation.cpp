@@ -19,6 +19,8 @@ int run_exp(ExperimentContext& ctx) {
                 "block length Delta trades run time against "
                 "synchronization quality: win rate degrades when blocks "
                 "cannot absorb the clock jitter");
+  const bench::RunPlan plan =
+      bench::make_plan(ctx, EngineKind::kSequential);
 
   const std::uint64_t n = ctx.args.get_u64("n", 1ull << 13);
   const CompleteGraph g(n);
@@ -48,8 +50,7 @@ int run_exp(ExperimentContext& ctx) {
           delta = proto.schedule().delta();
           budget = static_cast<double>(proto.schedule().total_length());
           double max_poor = 0.0;
-          const auto result = bench::run_async(
-              ctx, EngineKind::kSequential, proto, rng, 1e6,
+          const auto result = bench::run(plan, proto, rng, 1e6,
               [&](double, const AsyncOneExtraBit<CompleteGraph>& p) {
                 max_poor = std::max(
                     max_poor,

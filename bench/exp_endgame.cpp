@@ -22,6 +22,8 @@ int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "E8 (endgame, §3.2)",
                 "from c1 >= (1-eps)n, async Two-Choices finishes in "
                 "O(log n) time and C1 always wins");
+  const bench::RunPlan plan =
+      bench::make_plan(ctx, EngineKind::kSequential);
 
   const std::uint64_t max_n = ctx.args.get_u64("max_n", 1ull << 17);
   const double eps_fixed = ctx.args.get_double("eps", 0.1);
@@ -47,8 +49,7 @@ int run_exp(ExperimentContext& ctx) {
                 TwoChoicesAsync proto(
                     g, bench::place_on(ctx, g, counts_two_colors(n_eff, c1),
                                        rng));
-                const auto result = bench::run_async(
-                    ctx, EngineKind::kSequential, proto, rng, 1e6);
+                const auto result = bench::run(plan, proto, rng, 1e6);
                 return std::vector<double>{
                     result.time,
                     (result.consensus && result.winner == 0) ? 1.0 : 0.0};
@@ -90,8 +91,7 @@ int run_exp(ExperimentContext& ctx) {
                 TwoChoicesAsync proto(
                     g, bench::place_on(ctx, g, counts_two_colors(n_eff, c1),
                                        rng));
-                const auto result = bench::run_async(
-                    ctx, EngineKind::kSequential, proto, rng, 1e6);
+                const auto result = bench::run(plan, proto, rng, 1e6);
                 return std::vector<double>{
                     result.time,
                     (result.consensus && result.winner == 0) ? 1.0 : 0.0};

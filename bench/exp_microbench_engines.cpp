@@ -16,6 +16,8 @@
 #include "core/two_choices.hpp"
 #include "core/voter.hpp"
 #include "graph/complete.hpp"
+#include "graph/csr.hpp"
+#include "graph/factory.hpp"
 #include "opinion/assignment.hpp"
 #include "sim/continuous_engine.hpp"
 #include "sim/sequential_engine.hpp"
@@ -184,6 +186,78 @@ int run_exp(ExperimentContext& ctx) {
   }
 
   engines.print(std::cout, ctx.csv);
+
+  // ---- M1d: sharded on a *graph*. The same far-from-consensus Voter
+  // workload on a sparse random 8-regular topology, sampled through
+  // the flat CSR view (graph/csr.hpp) that the unified RunPlan path
+  // hands every engine: per-tick cost of the sequential graph driver
+  // vs superposition vs the sharded engine at several shard counts.
+  // The regular family keeps the neighbor-sample cost identical across
+  // nodes, so the measured difference is pure engine machinery plus
+  // the CSR row load.
+  const std::uint64_t mg_n = ctx.args.get_u64("m1d_n", n);
+  const std::uint64_t mg_ticks = ctx.args.get_u64("m1d_iters", ticks);
+  const double mg_horizon =
+      static_cast<double>(mg_ticks) / static_cast<double>(mg_n);
+  GraphSpec mg_spec;
+  mg_spec.kind = GraphKind::kRandomRegular;
+  Xoshiro256 mg_build_rng(ctx.master_seed);
+  const AnyGraph mg_graph = make_graph(mg_spec, mg_n, mg_build_rng);
+  const CsrTopology mg_csr = make_csr_view(mg_graph);
+
+  Table on_graph("M1d: async engines on a graph  (voter, random "
+                 "8-regular via CSR view, n=" +
+                     std::to_string(mg_n) + ", horizon=" +
+                     std::to_string(mg_horizon) + ")",
+                 {"engine", "ns_tick", "ci95", "ticks_per_sec",
+                  "speedup_vs_sequential"});
+
+  const auto time_graph_engine = [&](auto&& run_engine) {
+    return per_rep([&](Xoshiro256& rng) {
+      VoterAsync<CsrTopology> proto(mg_csr, assign_equal(mg_n, 64, rng));
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = run_engine(proto, rng);
+      const auto stop = std::chrono::steady_clock::now();
+      g_sink = result.ticks;
+      return std::chrono::duration<double, std::nano>(stop - start)
+                 .count() /
+             std::max(static_cast<double>(result.ticks), 1.0);
+    });
+  };
+
+  double sequential_mean = 0.0;
+  const auto report_graph_engine = [&](const std::string& name,
+                                       const std::vector<double>& samples) {
+    ctx.record("ns_per_tick_graph",
+               {{"engine", name.c_str()}, {"graph", "regular"}, {"n", mg_n}},
+               samples);
+    const Summary s = summarize(samples);
+    if (name == "sequential") sequential_mean = s.mean;
+    on_graph.row()
+        .cell(name)
+        .cell(s.mean, 2)
+        .cell(s.ci95_halfwidth, 2)
+        .cell(1e9 / s.mean, 0)
+        .cell(sequential_mean > 0.0 ? sequential_mean / s.mean : 1.0, 2);
+  };
+
+  report_graph_engine("sequential",
+                      time_graph_engine([&](auto& proto, Xoshiro256& rng) {
+                        return run_sequential(proto, rng, mg_horizon);
+                      }));
+  report_graph_engine("superposition",
+                      time_graph_engine([&](auto& proto, Xoshiro256& rng) {
+                        return run_continuous(proto, rng, mg_horizon);
+                      }));
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    report_graph_engine("sharded_t" + std::to_string(shards),
+                        time_graph_engine([&](auto& proto, Xoshiro256& rng) {
+                          return run_sharded(proto, rng(), shards,
+                                             mg_horizon);
+                        }));
+  }
+
+  on_graph.print(std::cout, ctx.csv);
   return 0;
 }
 
@@ -196,9 +270,13 @@ const ExperimentRegistrar kRegistrar{
     "Two-Choices, 3-Majority) and ns per node-update for the sync "
     "drivers. M1c: the same Two-Choices workload driven end to end by "
     "each async engine (sequential, heap, superposition, sharded) — "
-    "the superposition-vs-heap gap is the PR 2 headline. Records "
-    "`ns_per_op` and `ns_per_tick_engine`. Overrides: --n=, --iters=, "
-    "--m1c_n=, --m1c_iters=, --shards=.",
+    "the superposition-vs-heap gap is the PR 2 headline. M1d: the "
+    "engines on a *graph* (Voter on a random 8-regular topology "
+    "through the flat CSR view): per-tick throughput of the sharded "
+    "engine at several shard counts vs the sequential graph driver. "
+    "Records `ns_per_op`, `ns_per_tick_engine`, and "
+    "`ns_per_tick_graph`. Overrides: --n=, --iters=, --m1c_n=, "
+    "--m1c_iters=, --m1d_n=, --m1d_iters=, --shards=.",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

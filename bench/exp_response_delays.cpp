@@ -21,6 +21,8 @@ int run_exp(ExperimentContext& ctx) {
                 "constant-mean exponential response delays preserve the "
                 "Theta(log n) run time; only huge delays (>> block "
                 "length) degrade the protocol");
+  const bench::RunPlan plan =
+      bench::make_plan(ctx, EngineKind::kSuperposition);
 
   const std::uint64_t n = ctx.args.get_u64("n", 1ull << 12);
   const CompleteGraph g(n);
@@ -40,8 +42,7 @@ int run_exp(ExperimentContext& ctx) {
           auto proto = AsyncOneExtraBit<CompleteGraph>::make(
               g, bench::place_on(ctx, g, counts_plurality_bias(n, k, bias),
                                  rng));
-          const auto result = bench::run_async(
-              ctx, EngineKind::kSuperposition, proto, rng, 1e5);
+          const auto result = bench::run(plan, proto, rng, 1e5);
           return std::vector<double>{
               result.time,
               (result.consensus && result.winner == 0) ? 1.0 : 0.0,
@@ -72,7 +73,7 @@ int run_exp(ExperimentContext& ctx) {
               g, bench::place_on(ctx, g, counts_plurality_bias(n, k, bias),
                                  rng));
           const auto result =
-              bench::run_messaging(ctx, proto, latency, rng, 1e5);
+              bench::run(plan, proto, latency, rng, 1e5);
           return std::vector<double>{
               result.time,
               (result.consensus && result.winner == 0) ? 1.0 : 0.0,

@@ -32,6 +32,8 @@ int run_exp(ExperimentContext& ctx) {
                 "with perpetual synchronization the working-time spread "
                 "stays O(phase) and the poorly-synced fraction small; "
                 "without it, spread grows like sqrt(t)");
+  const bench::RunPlan plan =
+      bench::make_plan(ctx, EngineKind::kSequential);
 
   const std::uint64_t max_n = ctx.args.get_u64("max_n", 1ull << 15);
 
@@ -64,7 +66,7 @@ int run_exp(ExperimentContext& ctx) {
             probe.window = 2 * proto.schedule().delta();
             const double horizon =
                 static_cast<double>(proto.schedule().part1_length());
-            bench::run_async(ctx, EngineKind::kSequential, proto, rng,
+            bench::run(plan, proto, rng,
                              horizon, std::ref(probe), 10.0);
             const bool won = proto.table().has_consensus() &&
                              proto.table().consensus_color() == 0;

@@ -54,6 +54,8 @@ int run_exp(ExperimentContext& ctx) {
                 "after time t, node tick counts deviate from t by "
                 "O(sqrt(t log n) + log n); hence no algorithm beats "
                 "Theta(log n) and Delta-blocks absorb the jitter");
+  const bench::RunPlan plan =
+      bench::make_plan(ctx, EngineKind::kSequential);
 
   const std::uint64_t max_n = ctx.args.get_u64("max_n", 1ull << 16);
   const double horizon = ctx.args.get_double("t", 64.0);
@@ -70,7 +72,7 @@ int run_exp(ExperimentContext& ctx) {
         ctx.reps, 3, seeds,
         [&](std::uint64_t, Xoshiro256& rng) {
           ClockEnsemble clocks(n);
-          bench::run_async(ctx, EngineKind::kSequential, clocks, rng,
+          bench::run(plan, clocks, rng,
                            horizon);
           const auto [lo, hi] = clocks.min_max();
           const double dev =

@@ -15,55 +15,57 @@
 #include "bench_common.hpp"
 #include "core/two_choices.hpp"
 #include "core/voter.hpp"
+#include "graph/csr.hpp"
 #include "graph/factory.hpp"
 #include "opinion/assignment.hpp"
-#include "sim/sequential_engine.hpp"
 
 using namespace plurality;
 
 namespace {
 
-void measure(ExperimentContext& ctx, Table& table, const std::string& name,
-             const AnyGraph& any, double horizon, std::uint64_t sweep_point) {
-  std::visit(
-      [&](const auto& g) {
-        const std::uint64_t n = g.num_nodes();
-        const std::uint64_t c1 = (n * 3) / 4;
-        const auto seeds = ctx.seeds_for(sweep_point);
-        const auto slots = run_repetitions_multi(
-            ctx.reps, 4, seeds,
-            [&](std::uint64_t, Xoshiro256& rng) {
-              TwoChoicesAsync tc(
-                  g, bench::place_on(ctx, g, counts_two_colors(n, c1), rng));
-              const auto tc_result = bench::run_async(
-                  ctx, EngineKind::kSequential, tc, rng, horizon);
-              VoterAsync voter(
-                  g, bench::place_on(ctx, g, counts_two_colors(n, c1), rng));
-              const auto voter_result = bench::run_async(
-                  ctx, EngineKind::kSequential, voter, rng, horizon);
-              return std::vector<double>{
-                  tc_result.time, tc_result.consensus ? 1.0 : 0.0,
-                  voter_result.time, voter_result.consensus ? 1.0 : 0.0};
-            },
-            ctx.threads);
-        ctx.record("tc_time", {{"n", n}, {"topology", name.c_str()}},
-                   slots[0]);
-        ctx.record("voter_time", {{"n", n}, {"topology", name.c_str()}},
-                   slots[2]);
-        table.row()
-            .cell(name)
-            .cell(summarize(slots[0]).mean, 1)
-            .cell(summarize(slots[1]).mean, 2)
-            .cell(summarize(slots[2]).mean, 1)
-            .cell(summarize(slots[3]).mean, 2);
+void measure(ExperimentContext& ctx, const bench::RunPlan& plan,
+             Table& table, const std::string& name, const AnyGraph& any,
+             double horizon, std::uint64_t sweep_point) {
+  // One flat CSR view per sweep point: the protocols are instantiated
+  // once (over CsrTopology, not once per concrete family) and every
+  // engine — including the sharded workers — samples neighbors through
+  // the same immutable structure. Placement still runs on the concrete
+  // graph (it needs communities/cut structure).
+  const CsrTopology csr = make_csr_view(any);
+  const std::uint64_t n = csr.num_nodes();
+  const std::uint64_t c1 = (n * 3) / 4;
+  const auto seeds = ctx.seeds_for(sweep_point);
+  const auto slots = run_repetitions_multi(
+      ctx.reps, 4, seeds,
+      [&](std::uint64_t, Xoshiro256& rng) {
+        TwoChoicesAsync tc(
+            csr, bench::place_on(ctx, any, counts_two_colors(n, c1), rng));
+        const auto tc_result = bench::run(plan, tc, rng, horizon);
+        VoterAsync voter(
+            csr, bench::place_on(ctx, any, counts_two_colors(n, c1), rng));
+        const auto voter_result = bench::run(plan, voter, rng, horizon);
+        return std::vector<double>{
+            tc_result.time, tc_result.consensus ? 1.0 : 0.0,
+            voter_result.time, voter_result.consensus ? 1.0 : 0.0};
       },
-      any);
+      ctx.threads);
+  ctx.record("tc_time", {{"n", n}, {"topology", name.c_str()}}, slots[0]);
+  ctx.record("voter_time", {{"n", n}, {"topology", name.c_str()}},
+             slots[2]);
+  table.row()
+      .cell(name)
+      .cell(summarize(slots[0]).mean, 1)
+      .cell(summarize(slots[1]).mean, 2)
+      .cell(summarize(slots[2]).mean, 1)
+      .cell(summarize(slots[3]).mean, 2);
 }
 
 int run_exp(ExperimentContext& ctx) {
   bench::banner(ctx, "A2 (topology extension)",
                 "expander-like graphs track the clique's consensus time; "
                 "ring/torus are drastically slower (censored at horizon)");
+  const bench::RunPlan plan =
+      bench::make_plan(ctx, EngineKind::kSequential);
 
   const std::uint64_t n = ctx.args.get_u64("n", 4096);
   const double horizon = ctx.args.get_double("horizon", 2000.0);
@@ -117,7 +119,7 @@ int run_exp(ExperimentContext& ctx) {
   for (const Sweep& sweep : sweeps) {
     ctx.note_effective_graph(graph_kind_name(sweep.spec.kind));
     const AnyGraph g = make_graph(sweep.spec, n, build_rng);
-    measure(ctx, table, sweep.label, g, horizon, sweep_point++);
+    measure(ctx, plan, table, sweep.label, g, horizon, sweep_point++);
   }
 
   table.print(std::cout, ctx.csv);
@@ -135,10 +137,15 @@ const ExperimentRegistrar kRegistrar{
     "--graph= restricts the sweep to one family (with its --graph-p=, "
     "--graph-degree=, --graph-blocks=, --graph-pin=, --graph-pout= "
     "knobs) and --placement= starts each run from a non-uniform "
-    "configuration (see docs/SCENARIOS.md). Records `tc_time` and "
-    "`voter_time` per topology — expanders track the clique, the "
+    "configuration (see docs/SCENARIOS.md). Protocols run on the flat "
+    "CSR view (graph/csr.hpp), so every engine — including "
+    "--engine=sharded with --shards=T workers — drives every family, "
+    "and --latency= composes a response-latency model onto the runs "
+    "(blocking discipline, sharded delivery queues). Records `tc_time` "
+    "and `voter_time` per topology — expanders track the clique, the "
     "low-conductance ring/torus stall, and the SBM sits between, gated "
-    "by its cross-block rate. Overrides: --n=, --horizon=, --engine=.",
+    "by its cross-block rate. Overrides: --n=, --horizon=, --engine=, "
+    "--shards=, --latency= (with --latency-mean=/--latency-shape=).",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

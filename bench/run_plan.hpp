@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file run_plan.hpp
+/// The one run dispatch behind every experiment: a RunPlan is the
+/// resolved {engine, graph, placement, latency} tuple of one
+/// experiment invocation, and bench::run(plan, ...) is the single
+/// entry point that routes any protocol to the driver that can
+/// actually execute that composition — replacing the historical
+/// run_async / run_messaging / run_sharded_latency branching that was
+/// spread across bench_common.hpp and engine_select.hpp.
+///
+/// Dispatch rules (each records truthful *_effective attribution):
+///   - zero latency: the requested engine drives the protocol
+///     (sequential | heap | superposition | sharded), with the
+///     sharded→superposition fallback for non-shardable protocols —
+///     bit-identical behavior (and RNG consumption) to the old
+///     bench::run_async, so historical baselines survive unchanged;
+///   - non-zero latency + a delayed-shardable protocol (query/apply
+///     split): the sharded engine's per-shard delivery queues
+///     (run_sharded_queued), under the blocking one-query-in-flight
+///     discipline, always with the resolved --shards= worker count —
+///     the only driver for this composition, so the run is attributed
+///     engine_effective=sharded whatever engine was requested, and
+///     shards_effective names the count that actually keyed the
+///     trajectories. This is what makes graph × placement ×
+///     random-latency compositions run in parallel instead of being
+///     exiled to single-threaded drivers;
+///   - non-zero latency + a protocol without the query/apply split:
+///     the latency is *ignored with a once-per-process warning* and no
+///     latency_effective is attributed — the record stays truthful;
+///   - messaging protocols (core/delayed.hpp) take the explicit-model
+///     overload and always ride the superposition messaging driver,
+///     the only single-stream engine with a delivery queue.
+
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "experiment/registry.hpp"
+#include "graph/csr.hpp"
+#include "graph/factory.hpp"
+#include "opinion/placement.hpp"
+#include "sim/continuous_engine.hpp"
+#include "sim/engine_select.hpp"
+#include "sim/latency.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace plurality::bench {
+
+/// Once per process (a plain function, not a template, so the flag is
+/// shared by every protocol instantiation).
+inline void warn_sharded_fallback_once() {
+  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
+  if (!warned.test_and_set()) {
+    std::cerr << "warning: --engine=sharded is not supported by this "
+                 "protocol (no propose()); running on the superposition "
+                 "engine instead\n";
+  }
+}
+
+/// Once per process: a messaging (delayed-response) run was asked to
+/// use an engine without a delivery queue.
+inline void warn_messaging_engine_once() {
+  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
+  if (!warned.test_and_set()) {
+    std::cerr << "warning: delayed-response runs require the messaging "
+                 "driver; ignoring --engine= and running on the "
+                 "superposition-based delivery engine\n";
+  }
+}
+
+/// Once per process: --latency= was requested for a protocol that has
+/// no query/apply split (e.g. the stateful OneExtraBit tick machines),
+/// so the run proceeds with instant responses.
+inline void warn_latency_unsupported_once() {
+  static std::atomic_flag warned = ATOMIC_FLAG_INIT;
+  if (!warned.test_and_set()) {
+    std::cerr << "warning: --latency= is not supported by this protocol "
+                 "(no query/apply split); running with instant "
+                 "responses instead (the record carries no "
+                 "latency_effective for these samples)\n";
+  }
+}
+
+/// The resolved composition of one experiment invocation: which engine
+/// drives the runs, which topology family the sweep builds, where the
+/// counts start, and under which response-latency model. Built once
+/// per experiment body via make_plan(); every axis is already
+/// validated (ExperimentContext parses the flags on the main thread).
+struct RunPlan {
+  const ExperimentContext* ctx = nullptr;
+  EngineKind engine = EngineKind::kSuperposition;  ///< resolved request
+  GraphSpec graph;          ///< resolved --graph* (or experiment default)
+  PlacementSpec placement;  ///< resolved --placement*
+  LatencySpec latency;      ///< resolved --latency*
+  unsigned shards = 1;      ///< resolved --shards=
+};
+
+/// Resolves the plan for one experiment body: --engine= overrides
+/// `default_engine` (each experiment's historical model), --graph=
+/// overrides `default_graph`; the --graph-* family knobs apply either
+/// way.
+inline RunPlan make_plan(const ExperimentContext& ctx,
+                         EngineKind default_engine,
+                         GraphKind default_graph = GraphKind::kComplete) {
+  RunPlan plan;
+  plan.ctx = &ctx;
+  plan.engine = ctx.engine.empty() ? default_engine
+                                   : parse_engine_kind(ctx.engine);
+  plan.graph = ctx.graph;
+  if (!ctx.args.has_flag("graph")) plan.graph.kind = default_graph;
+  plan.placement = ctx.placement;
+  plan.latency = ctx.latency;
+  plan.shards = ctx.shards;
+  return plan;
+}
+
+/// Builds the plan's topology for one sweep point and attributes the
+/// built family into the record (graph_effective). Random families
+/// draw their edges from `build_rng`; the torus rounds n down to
+/// floor(sqrt n)^2, so read the realized size back via num_nodes().
+inline AnyGraph topology(const RunPlan& plan, std::uint64_t n,
+                         Xoshiro256& build_rng) {
+  plan.ctx->note_effective_graph(graph_kind_name(plan.graph.kind));
+  return make_graph(plan.graph, n, build_rng);
+}
+
+/// Runs a delayed-shardable protocol under an explicit latency model on
+/// the sharded engine's per-shard delivery queues — the only driver for
+/// this composition, whatever engine the plan requested, and always
+/// with the plan's resolved `--shards=` count: the record says
+/// {engine_effective: sharded, shards_effective: plan.shards}, and that
+/// pair must describe the trajectories it holds (replaying a record
+/// with a different shard count gives a different — statistically
+/// equivalent — run). The engine seeds its per-shard streams from a
+/// word of `rng`.
+template <DelayedShardableProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_queued(const RunPlan& plan, P& proto,
+                          const LatencyModel& model,
+                          QueryDiscipline discipline, Xoshiro256& rng,
+                          double max_time, Obs&& obs = Obs{},
+                          double sample_every = 1.0) {
+  plan.ctx->note_effective_engine(engine_kind_name(EngineKind::kSharded));
+  plan.ctx->note_effective_latency(model.name());
+  return run_sharded_queued(proto, model, discipline, rng(), plan.shards,
+                            max_time, std::forward<Obs>(obs), sample_every);
+}
+
+/// THE run dispatch for plain (non-messaging) async protocols: engine ×
+/// latency routing as described in the file header. For the default
+/// zero-latency axis this is bit-identical (including RNG consumption)
+/// to the historical bench::run_async.
+template <typename P, typename Obs = NullObserver>
+AsyncRunResult run(const RunPlan& plan, P& proto, Xoshiro256& rng,
+                   double max_time, Obs&& obs = Obs{},
+                   double sample_every = 1.0) {
+  if (plan.latency.kind != LatencyKind::kZero) {
+    if constexpr (DelayedShardableProtocol<P>) {
+      const auto model = plan.latency.make();
+      return run_queued(plan, proto, *model, QueryDiscipline::kBlocking,
+                        rng, max_time, std::forward<Obs>(obs),
+                        sample_every);
+    } else {
+      // Fall through to the instant-response dispatch below; the
+      // warning is loud and the record carries no latency_effective
+      // for these samples, so it cannot misattribute them.
+      warn_latency_unsupported_once();
+    }
+  }
+  const EngineKind effective = effective_engine_kind<P>(plan.engine);
+  if (effective != plan.engine) warn_sharded_fallback_once();
+  plan.ctx->note_effective_engine(engine_kind_name(effective));
+  const std::uint64_t shard_seed =
+      effective == EngineKind::kSharded ? rng() : 0;
+  // Dispatch on `effective`, the same value that was just recorded, so
+  // the JSON label and the engine that runs can never diverge.
+  return run_async_engine(effective, proto, rng, shard_seed, plan.shards,
+                          max_time, std::forward<Obs>(obs), sample_every);
+}
+
+/// The run dispatch for *messaging* protocols (core/delayed.hpp) under
+/// an explicit latency model. Messaging protocols always ride the
+/// superposition-based delivery driver (the only single-stream engine
+/// with a message queue); any other engine request falls back to it
+/// with a once-per-process warning, and the record's
+/// params.engine_effective says "superposition" so the JSON stays
+/// truthful. The latency draws come from `rng` via the driver (see
+/// continuous_engine.hpp); `model` must outlive the run.
+template <MessagingProtocol P, typename Obs = NullObserver>
+AsyncRunResult run(const RunPlan& plan, P& proto, const LatencyModel& model,
+                   Xoshiro256& rng, double max_time, Obs&& obs = Obs{},
+                   double sample_every = 1.0) {
+  if (!plan.ctx->engine.empty() &&
+      plan.engine != EngineKind::kSuperposition) {
+    warn_messaging_engine_once();
+  }
+  plan.ctx->note_effective_engine(
+      engine_kind_name(EngineKind::kSuperposition));
+  plan.ctx->note_effective_latency(model.name());
+  return run_continuous_messaging(proto, model, rng, max_time,
+                                  std::forward<Obs>(obs), sample_every);
+}
+
+}  // namespace plurality::bench

@@ -42,22 +42,9 @@
 
 namespace plurality {
 
-/// How a delayed protocol issues queries.
-///
-/// kBlocking (default) is the Bankhamer et al. request/response model:
-/// a node keeps at most ONE query in flight, ticks on a waiting node
-/// are suppressed, and the answer re-arms it. This is what makes the
-/// latency *shape* matter: under a decreasing-hazard (heavy-tailed)
-/// model the residual wait of an in-flight query grows the longer it
-/// has been outstanding (the waiting-time paradox), so the endgame is
-/// gated by stragglers, while positive aging keeps every round trip
-/// concentrated around the mean.
-///
-/// kFireAndForget posts a fresh query on every tick regardless of
-/// outstanding answers — the §4-style semantics, and the discipline
-/// the sharded engine's constant-latency epoch fold approximates
-/// (updates at full tick rate from c-stale reads).
-enum class QueryDiscipline : std::uint8_t { kBlocking, kFireAndForget };
+// QueryDiscipline (kBlocking | kFireAndForget) lives in sim/latency.hpp
+// now: the sharded engine's delivery-queue driver implements the same
+// disciplines, and sim/ must not depend on core/.
 
 /// Asynchronous Two-Choices with delayed responses; the smallest
 /// protocol exercising the messaging driver end to end. On each

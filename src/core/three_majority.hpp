@@ -89,6 +89,30 @@ class ThreeMajorityAsync {
     return detail::majority_of_three(a, b, c);
   }
 
+  /// Delayed form of the tick, split at the query/response boundary for
+  /// the sharded engine's delivery queues (run_sharded_queued): the
+  /// three neighbor colors are read at query time (matching the
+  /// ThreeMajorityAsyncDelayed message semantics), the majority rule is
+  /// resolved at delivery.
+  struct Query {
+    ColorId a;
+    ColorId b;
+    ColorId c;
+  };
+
+  template <typename View>
+  Query query(NodeId u, const View& view, Xoshiro256& rng) const {
+    return Query{view.color(graph_->sample_neighbor(u, rng)),
+                 view.color(graph_->sample_neighbor(u, rng)),
+                 view.color(graph_->sample_neighbor(u, rng))};
+  }
+
+  template <typename View>
+  ColorId apply_query(NodeId /*u*/, const Query& q,
+                      const View& /*view*/) const {
+    return detail::majority_of_three(q.a, q.b, q.c);
+  }
+
   std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
   bool done() const noexcept { return table_.has_consensus(); }
   const OpinionTable& table() const noexcept { return table_; }

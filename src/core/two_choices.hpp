@@ -80,6 +80,28 @@ class TwoChoicesAsync {
     return cv == cw ? cv : view.color(u);
   }
 
+  /// Delayed form of the tick, split at the query/response boundary for
+  /// the sharded engine's delivery queues (run_sharded_queued): the two
+  /// neighbor colors are read at query time (matching the
+  /// TwoChoicesAsyncDelayed message semantics), and the
+  /// adopt-on-coincidence rule is resolved against the node's *current*
+  /// color when the answer is delivered.
+  struct Query {
+    ColorId first;
+    ColorId second;
+  };
+
+  template <typename View>
+  Query query(NodeId u, const View& view, Xoshiro256& rng) const {
+    return Query{view.color(graph_->sample_neighbor(u, rng)),
+                 view.color(graph_->sample_neighbor(u, rng))};
+  }
+
+  template <typename View>
+  ColorId apply_query(NodeId u, const Query& q, const View& view) const {
+    return q.first == q.second ? q.first : view.color(u);
+  }
+
   std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
   bool done() const noexcept { return table_.has_consensus(); }
   const OpinionTable& table() const noexcept { return table_; }

@@ -72,6 +72,25 @@ class VoterAsync {
     return view.color(graph_->sample_neighbor(u, rng));
   }
 
+  /// Delayed form of the tick, split at the query/response boundary for
+  /// the sharded engine's delivery queues (run_sharded_queued): query()
+  /// samples the neighbor's color at query time, apply_query() resolves
+  /// the update when the answer is delivered.
+  struct Query {
+    ColorId sampled;
+  };
+
+  template <typename View>
+  Query query(NodeId u, const View& view, Xoshiro256& rng) const {
+    return Query{view.color(graph_->sample_neighbor(u, rng))};
+  }
+
+  template <typename View>
+  ColorId apply_query(NodeId /*u*/, const Query& q,
+                      const View& /*view*/) const {
+    return q.sampled;
+  }
+
   std::uint64_t num_nodes() const noexcept { return table_.num_nodes(); }
   bool done() const noexcept { return table_.has_consensus(); }
   const OpinionTable& table() const noexcept { return table_; }

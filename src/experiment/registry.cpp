@@ -157,15 +157,16 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
   }
   // The engines that actually ran (a sharded request can fall back per
   // protocol), so the record stays truthful even when it differs from
-  // the requested --engine=; likewise the resolved shard count, since
-  // --shards=0 picks the host's core count and sharded trajectories
-  // depend on it.
+  // the requested --engine=.
   if (const auto engines = ctx.effective_engines(); !engines.empty()) {
     params["engine_effective"] = join_comma(engines);
-    if (engines.count("sharded") > 0) {
-      params["shards_resolved"] = ctx.shards;
-    }
   }
+  // The resolved worker count, in *every* record: --shards=0 picks the
+  // host's core count, sharded trajectories are keyed on it, and a
+  // baseline recorded on a 64-core box must be distinguishable from
+  // one recorded on a laptop even for experiments that happened to run
+  // single-stream engines this time.
+  params["shards_effective"] = ctx.shards;
   // The latency models that actually drove runs (mirroring
   // engine_effective): most experiments ignore --latency, and a record
   // claiming a model its samples never used would misattribute them.

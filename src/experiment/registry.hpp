@@ -57,8 +57,8 @@ class ExperimentContext {
     if (!engine.empty()) parse_engine_kind(engine);
     // Resolve --shards=0 (hardware concurrency) to a concrete count
     // up front: sharded trajectories are deterministic for a fixed
-    // (seed, shards), so the resolved value must land in the JSON
-    // record (shards_resolved) for the run to be replayable elsewhere.
+    // (seed, shards), so the resolved value lands in every JSON record
+    // (shards_effective) for the run to be replayable elsewhere.
     if (shards == 0) {
       shards = std::max(1u, std::thread::hardware_concurrency());
     }

@@ -44,6 +44,15 @@ class AdjacencyList {
 
   std::uint64_t num_edges() const noexcept { return edges_.size() / 2; }
 
+  /// The raw CSR arrays (n+1 row offsets, concatenated neighbor rows),
+  /// for components that want one flat view over every adjacency-backed
+  /// family (graph/csr.hpp) without re-materializing the storage. The
+  /// spans borrow this list's buffers and are invalidated with it.
+  std::span<const std::uint64_t> row_offsets() const noexcept {
+    return offsets_;
+  }
+  std::span<const NodeId> flat_edges() const noexcept { return edges_; }
+
  private:
   std::vector<std::uint64_t> offsets_;
   std::vector<NodeId> edges_;

@@ -1,0 +1,50 @@
+#include "graph/csr.hpp"
+
+#include <utility>
+#include <variant>
+
+namespace plurality {
+
+namespace {
+
+/// Materializes the rows of a closed-form family (ring, torus) into
+/// owned CSR arrays via its append_neighbors enumeration.
+template <typename G>
+CsrTopology materialize(const G& graph) {
+  const std::uint64_t n = graph.num_nodes();
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(n + 1);
+  std::vector<NodeId> edges;
+  edges.reserve(n * graph.degree(0));
+  offsets.push_back(0);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    graph.append_neighbors(static_cast<NodeId>(u), edges);
+    offsets.push_back(edges.size());
+  }
+  return CsrTopology::owned(std::move(offsets), std::move(edges));
+}
+
+CsrTopology borrow(const AdjacencyList& adjacency) {
+  return CsrTopology::borrowed(adjacency.row_offsets(),
+                               adjacency.flat_edges());
+}
+
+}  // namespace
+
+CsrTopology make_csr_view(const AnyGraph& graph) {
+  return std::visit(
+      [](const auto& g) -> CsrTopology {
+        using G = std::decay_t<decltype(g)>;
+        if constexpr (std::is_same_v<G, CompleteGraph>) {
+          return CsrTopology::implicit_complete(g.num_nodes());
+        } else if constexpr (std::is_same_v<G, RingGraph> ||
+                             std::is_same_v<G, TorusGraph>) {
+          return materialize(g);
+        } else {
+          return borrow(g.adjacency());
+        }
+      },
+      graph);
+}
+
+}  // namespace plurality

@@ -36,6 +36,9 @@ class ErdosRenyiGraph {
     return adjacency_.neighbors(u);
   }
 
+  /// The backing CSR storage (for graph/csr.hpp's borrowed flat view).
+  const AdjacencyList& adjacency() const noexcept { return adjacency_; }
+
  private:
   AdjacencyList adjacency_;
   std::uint64_t isolated_ = 0;

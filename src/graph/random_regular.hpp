@@ -37,6 +37,9 @@ class RandomRegularGraph {
     return adjacency_.neighbors(u);
   }
 
+  /// The backing CSR storage (for graph/csr.hpp's borrowed flat view).
+  const AdjacencyList& adjacency() const noexcept { return adjacency_; }
+
  private:
   AdjacencyList adjacency_;
   std::uint64_t defects_ = 0;

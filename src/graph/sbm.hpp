@@ -46,6 +46,9 @@ class StochasticBlockModelGraph {
     return adjacency_.neighbors(u);
   }
 
+  /// The backing CSR storage (for graph/csr.hpp's borrowed flat view).
+  const AdjacencyList& adjacency() const noexcept { return adjacency_; }
+
   std::uint32_t num_blocks() const noexcept {
     return static_cast<std::uint32_t>(communities_.size());
   }

@@ -18,13 +18,16 @@
 /// (`--latency=` selects a model from sim/latency.hpp):
 ///   - zero latency leaves every engine untouched;
 ///   - a messaging (delayed-response) protocol always runs on the
-///     superposition-based messaging driver — the only engine with a
-///     delivery queue — so sharded/heap/sequential requests fall back
-///     to it (bench_common::run_messaging warns once);
-///   - for *shardable* protocols the sharded engine can fold zero and
-///     constant latencies into its epoch schedule (run_sharded_latency
-///     below); random latencies cannot be folded without breaking the
-///     deterministic epoch merge, so they take the messaging path too.
+///     superposition-based messaging driver — the only *single-stream*
+///     engine with a delivery queue — so heap/sequential requests fall
+///     back to it (the bench harness warns once);
+///   - a *delayed-shardable* protocol (query/apply_query split) runs
+///     any sampleable model on the sharded engine's per-shard delivery
+///     queues (run_sharded_queued in sharded_engine.hpp) — the general
+///     parallel latency path, dispatched by the bench layer's RunPlan;
+///   - run_sharded_latency below additionally keeps the *constant*
+///     epoch fold: a cheaper, queue-free approximation of constant
+///     latency validated against the messaging driver.
 
 #include <algorithm>
 #include <cstdint>

@@ -44,6 +44,28 @@
 
 namespace plurality {
 
+/// How a protocol running under a latency model issues queries.
+///
+/// kBlocking (default) is the Bankhamer et al. request/response model:
+/// a node keeps at most ONE query in flight, ticks on a waiting node
+/// are suppressed, and the answer re-arms it. This is what makes the
+/// latency *shape* matter: under a decreasing-hazard (heavy-tailed)
+/// model the residual wait of an in-flight query grows the longer it
+/// has been outstanding (the waiting-time paradox), so the endgame is
+/// gated by stragglers, while positive aging keeps every round trip
+/// concentrated around the mean.
+///
+/// kFireAndForget posts a fresh query on every tick regardless of
+/// outstanding answers — the §4-style semantics, and the discipline
+/// the sharded engine's constant-latency epoch fold approximates
+/// (updates at full tick rate from c-stale reads).
+///
+/// Lives here (not in core/delayed.hpp) because both the delayed
+/// protocol variants and the sharded engine's delivery-queue driver
+/// (run_sharded_queued) implement it, and sim/ must not depend on
+/// core/.
+enum class QueryDiscipline : std::uint8_t { kBlocking, kFireAndForget };
+
 /// The registered latency families, as selected by `--latency=`.
 enum class LatencyKind : std::uint8_t {
   kZero,         ///< instant responses (paper baseline)

@@ -20,30 +20,41 @@
 /// OpinionTable (O(changes + colors), see
 /// OpinionTable::merge_shard_deltas), the snapshot absorbs the changes,
 /// and done() is polled; the observer fires at `sample_every`
-/// boundaries as in the other engines.
+/// boundaries as in the other engines. The workers are a persistent
+/// pool — one thread per shard for the whole run, parked at the epoch
+/// barrier (detail::ShardWorkerPool) — since epochs are far too short
+/// to amortize a thread spawn.
+///
+/// Topology: protocols sample neighbors themselves (propose/query take
+/// the shard's RNG), so the engine runs on *any* GraphTopology — the
+/// clique, and every factory family, ideally through the flat
+/// graph/csr.hpp view, which shares one immutable structure across all
+/// shard workers.
 ///
 /// The foreign-read staleness is the one deliberate deviation from the
 /// exact process; shrinking `epoch_length` shrinks it (at the cost of
 /// more barriers), and the engine equivalence tests pin the
 /// consensus-time agreement statistically.
 ///
-/// Edge latencies (sim/latency.hpp): the engine can *fold* a constant
-/// latency c into its epoch schedule by setting `epoch_length` = 2c
-/// and enabling `snapshot_reads` — then every neighbor read
-/// (same-shard included) comes from the epoch-start snapshot, i.e.
-/// from state whose age is uniform on [0, 2c) with mean c, matching
-/// the mean information age of reading peers one constant response
-/// delay ago (the age is epoch-quantized, not constant, and updates
-/// apply at tick time rather than tick + c — see run_sharded_latency
-/// in engine_select.hpp for the precise claim). Only the ticking
-/// node's *own* color stays live (its self-read is not an edge).
-/// Random latency models cannot be folded this way — their draws
-/// would cross epoch boundaries and break the deterministic merge —
-/// so engine selection falls back to the messaging driver for them.
+/// Edge latencies (sim/latency.hpp) integrate in two ways:
+///   - run_sharded can *fold* a constant latency c into its epoch
+///     schedule by setting `epoch_length` = 2c and enabling
+///     `snapshot_reads` — every neighbor read then comes from the
+///     epoch-start snapshot, i.e. from state whose age is uniform on
+///     [0, 2c) with mean c (the fire-and-forget approximation; see
+///     run_sharded_latency in engine_select.hpp for the precise claim);
+///   - run_sharded_queued runs *any* sampleable model (const, exp,
+///     pareto, aging) exactly, via per-shard delivery queues: a query's
+///     answer carries the colors read at query time and is applied at
+///     query + delay, under the blocking or fire-and-forget discipline.
+///     The querier and the recipient of the answer are the same node,
+///     so deliveries never cross shards and the epoch merge stays
+///     deterministic.
 
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -53,6 +64,8 @@
 #include "rng/distributions.hpp"
 #include "rng/seed.hpp"
 #include "sim/concepts.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/latency.hpp"
 #include "sim/observers.hpp"
 #include "sim/result.hpp"
 #include "support/assert.hpp"
@@ -92,6 +105,124 @@ concept ShardableProtocol =
       { p.mutable_table() } -> std::same_as<OpinionTable&>;
     };
 
+/// A shardable protocol whose tick additionally splits at the
+/// query/response boundary, so the sharded engine can delay the answer
+/// under a latency model (run_sharded_queued): query() reads the
+/// sampled neighbors' colors at query time, apply_query() resolves the
+/// update rule against the node's current color at delivery time.
+template <typename P>
+concept DelayedShardableProtocol =
+    ShardableProtocol<P> &&
+    requires(const P cp, NodeId u, const ShardView& view, Xoshiro256& rng,
+             const typename P::Query& q) {
+      typename P::Query;
+      { cp.query(u, view, rng) } -> std::same_as<typename P::Query>;
+      { cp.apply_query(u, q, view) } -> std::convertible_to<ColorId>;
+    };
+
+namespace detail {
+
+/// The persistent worker pool behind both sharded drivers: one thread
+/// per shard for the whole run, parked at a generation-counter barrier
+/// between epochs (epochs are short — default 0.25 time units — so
+/// spawning threads per epoch would dominate the per-tick cost).
+/// `work(shard_index)` is invoked once per shard per run_epoch() call;
+/// it must not throw (the engines capture errors into their per-shard
+/// state and rethrow after the barrier). With one shard the work runs
+/// inline on the calling thread and no worker is spawned.
+class ShardWorkerPool {
+ public:
+  ShardWorkerPool(std::uint64_t shards,
+                  std::function<void(std::uint64_t)> work)
+      : work_(std::move(work)) {
+    if (shards <= 1) return;
+    workers_.reserve(shards);
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      workers_.emplace_back([this, s] { worker_loop(s); });
+    }
+  }
+
+  ShardWorkerPool(const ShardWorkerPool&) = delete;
+  ShardWorkerPool& operator=(const ShardWorkerPool&) = delete;
+
+  ~ShardWorkerPool() {
+    if (workers_.empty()) return;
+    {
+      const std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  /// Runs the work on every shard and blocks until all are done. Any
+  /// state the work reads (epoch length, buffers) must be written by
+  /// the caller before this call; the barrier's mutex orders those
+  /// writes before the workers' reads.
+  void run_epoch() {
+    if (workers_.empty()) {
+      work_(0);
+      return;
+    }
+    {
+      const std::lock_guard lock(mutex_);
+      pending_ = workers_.size();
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+
+ private:
+  void worker_loop(std::uint64_t shard) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock lock(mutex_);
+        work_cv_.wait(lock,
+                      [&] { return stopping_ || generation_ != seen; });
+        if (stopping_) return;
+        seen = generation_;
+      }
+      work_(shard);  // never throws; errors land in the engine's state
+      {
+        const std::lock_guard lock(mutex_);
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  std::function<void(std::uint64_t)> work_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t pending_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Contiguous as-equal-as-possible shard ranges over n nodes.
+inline std::pair<NodeId, NodeId> shard_range(std::uint64_t n,
+                                             std::uint64_t shard,
+                                             std::uint64_t shards) noexcept {
+  return {static_cast<NodeId>(n * shard / shards),
+          static_cast<NodeId>(n * (shard + 1) / shards)};
+}
+
+/// The resolved shard count: 0 picks the hardware concurrency, and the
+/// count never exceeds the node count.
+inline std::uint64_t resolve_shards(unsigned num_shards,
+                                    std::uint64_t n) noexcept {
+  if (num_shards == 0) {
+    num_shards = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::min<std::uint64_t>(num_shards, n);
+}
+
+}  // namespace detail
+
 /// Runs `proto` under Poisson(1) clocks until done() or `max_time`,
 /// spread across `num_shards` threads (0 picks the hardware
 /// concurrency). Deterministic for a fixed (seed, num_shards,
@@ -118,11 +249,7 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
   const std::uint64_t n = proto.num_nodes();
   PC_EXPECTS(n >= 1);
 
-  if (num_shards == 0) {
-    num_shards = std::max(1u, std::thread::hardware_concurrency());
-  }
-  const auto shards =
-      static_cast<std::uint64_t>(std::min<std::uint64_t>(num_shards, n));
+  const std::uint64_t shards = detail::resolve_shards(num_shards, n);
   const ColorId num_colors = proto.table().num_colors();
 
   const auto initial = proto.table().colors();
@@ -141,14 +268,15 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
   const SeedSequence streams(seed);
   std::vector<Shard> pool(shards);
   for (std::uint64_t s = 0; s < shards; ++s) {
-    pool[s].lo = static_cast<NodeId>(n * s / shards);
-    pool[s].hi = static_cast<NodeId>(n * (s + 1) / shards);
+    std::tie(pool[s].lo, pool[s].hi) = detail::shard_range(n, s, shards);
     pool[s].rng = streams.make_rng(s);
     pool[s].delta.assign(num_colors, 0);
   }
 
-  const auto run_epoch_in = [&](Shard& shard, double dt) {
+  double epoch_dt = 0.0;  // written before each barrier, read by workers
+  const auto run_epoch_in = [&](Shard& shard) {
     try {
+      const double dt = epoch_dt;
       const std::uint64_t n_s = shard.hi - shard.lo;
       const std::uint64_t ticks =
           poisson(shard.rng, static_cast<double>(n_s) * dt);
@@ -179,69 +307,13 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
     }
   };
 
-  // Persistent worker pool: one thread per shard for the whole run,
-  // synchronized at epoch barriers via a generation counter — epochs
-  // are short (default 0.25 time units), so spawning threads per epoch
-  // would dominate the per-tick cost.
-  std::mutex mutex;
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  std::uint64_t generation = 0;
-  double epoch_dt = 0.0;
-  std::uint64_t pending = 0;
-  bool stopping = false;
-
-  std::vector<std::thread> workers;
-  if (shards > 1) {
-    workers.reserve(shards);
-    for (std::uint64_t s = 0; s < shards; ++s) {
-      workers.emplace_back([&, shard = &pool[s]] {
-        std::uint64_t seen = 0;
-        for (;;) {
-          double dt = 0.0;
-          {
-            std::unique_lock lock(mutex);
-            work_cv.wait(lock,
-                         [&] { return stopping || generation != seen; });
-            if (stopping) return;
-            seen = generation;
-            dt = epoch_dt;
-          }
-          run_epoch_in(*shard, dt);  // never throws; errors land in *shard
-          {
-            std::lock_guard lock(mutex);
-            if (--pending == 0) done_cv.notify_one();
-          }
-        }
-      });
-    }
-  }
-  const auto stop_workers = [&]() noexcept {
-    if (workers.empty()) return;
-    {
-      std::lock_guard lock(mutex);
-      stopping = true;
-    }
-    work_cv.notify_all();
-    for (auto& worker : workers) worker.join();
-    workers.clear();
-  };
+  detail::ShardWorkerPool workers(
+      shards, [&](std::uint64_t s) { run_epoch_in(pool[s]); });
 
   AsyncRunResult result;
   const auto run_epoch = [&](double dt) {
-    if (shards == 1) {
-      run_epoch_in(pool[0], dt);
-    } else {
-      {
-        std::lock_guard lock(mutex);
-        epoch_dt = dt;
-        pending = shards;
-        ++generation;
-      }
-      work_cv.notify_all();
-      std::unique_lock lock(mutex);
-      done_cv.wait(lock, [&] { return pending == 0; });
-    }
+    epoch_dt = dt;
+    workers.run_epoch();
     for (auto& shard : pool) {
       if (shard.error) std::rethrow_exception(shard.error);
     }
@@ -256,26 +328,179 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
     }
   };
 
-  try {
-    double now = 0.0;
-    obs(now, proto);
-    while (now < max_time && !proto.done()) {
-      const double sample_end = std::min(now + sample_every, max_time);
-      while (now < sample_end && !proto.done()) {
-        const double dt = std::min(epoch_length, sample_end - now);
-        if (!(dt > 0.0)) break;  // floating-point residue at the boundary
-        run_epoch(dt);
-        now += dt;
-      }
-      if (now < max_time && !proto.done()) obs(now, proto);
+  double now = 0.0;
+  obs(now, proto);
+  while (now < max_time && !proto.done()) {
+    const double sample_end = std::min(now + sample_every, max_time);
+    while (now < sample_end && !proto.done()) {
+      const double dt = std::min(epoch_length, sample_end - now);
+      if (!(dt > 0.0)) break;  // floating-point residue at the boundary
+      run_epoch(dt);
+      now += dt;
     }
-    result.time = proto.done() ? now : max_time;
-    obs(result.time, proto);
-  } catch (...) {
-    stop_workers();
-    throw;
+    if (now < max_time && !proto.done()) obs(now, proto);
   }
-  stop_workers();
+  result.time = proto.done() ? now : max_time;
+  obs(result.time, proto);
+  result.consensus = proto.table().has_consensus();
+  if (result.consensus) result.winner = proto.table().consensus_color();
+  return result;
+}
+
+/// Runs `proto` under Poisson(1) clocks *and* a response-latency model,
+/// spread across `num_shards` threads: every (non-suppressed) tick
+/// issues a query whose sampled colors are read at query time; the
+/// answer travels for latency.sample() time units on the shard's own
+/// delivery queue (the querier receives its own answer, so deliveries
+/// never cross shards) and the update rule is applied at delivery.
+/// Under QueryDiscipline::kBlocking a node with an answer in flight
+/// skips its ticks until the answer lands — the Bankhamer et al.
+/// request/response regime; kFireAndForget queries on every tick.
+///
+/// This is the general latency path of the sharded engine: it handles
+/// every sampleable model (const, exp, pareto, aging) exactly — delays
+/// cross epoch (and sample) boundaries on the persistent per-shard
+/// queues — leaving only the usual sharded-engine deviation, the
+/// epoch-start snapshot for *foreign* neighbor reads. Within an epoch
+/// each shard interleaves its superposition tick stream (sequential
+/// Exp(1)/n_s gaps, exact by memorylessness across epoch boundaries)
+/// with its queue head in nondecreasing event time, so a fixed
+/// (seed, num_shards, epoch_length) tuple is deterministic regardless
+/// of thread scheduling. done() is polled at epoch boundaries; when
+/// the horizon cuts the run, queries still in flight are dropped and
+/// result.time reports `max_time`.
+template <DelayedShardableProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
+                                  QueryDiscipline discipline,
+                                  std::uint64_t seed, unsigned num_shards,
+                                  double max_time, Obs&& obs = Obs{},
+                                  double sample_every = 1.0,
+                                  double epoch_length = 0.25) {
+  PC_EXPECTS(max_time > 0.0);
+  PC_EXPECTS(sample_every > 0.0);
+  PC_EXPECTS(epoch_length > 0.0);
+  const std::uint64_t n = proto.num_nodes();
+  PC_EXPECTS(n >= 1);
+
+  const std::uint64_t shards = detail::resolve_shards(num_shards, n);
+  const ColorId num_colors = proto.table().num_colors();
+  const bool blocking = discipline == QueryDiscipline::kBlocking;
+
+  const auto initial = proto.table().colors();
+  std::vector<ColorId> live(initial.begin(), initial.end());
+  std::vector<ColorId> snapshot = live;
+
+  struct Delivery {
+    NodeId to;
+    typename P::Query query;
+  };
+  struct Shard {
+    NodeId lo = 0;
+    NodeId hi = 0;
+    Xoshiro256 rng{0};
+    EventQueue<Delivery> deliveries;       // persists across epochs
+    std::vector<std::uint8_t> pending;     // blocking: query in flight
+    std::vector<NodeId> changed;
+    std::vector<std::int64_t> delta;
+    std::uint64_t ticks = 0;
+    std::exception_ptr error;
+  };
+  const SeedSequence streams(seed);
+  std::vector<Shard> pool(shards);
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    std::tie(pool[s].lo, pool[s].hi) = detail::shard_range(n, s, shards);
+    pool[s].rng = streams.make_rng(s);
+    pool[s].delta.assign(num_colors, 0);
+    if (blocking) pool[s].pending.assign(pool[s].hi - pool[s].lo, 0);
+  }
+
+  double epoch_t0 = 0.0;  // written before each barrier, read by workers
+  double epoch_dt = 0.0;
+  const auto run_epoch_in = [&](Shard& shard) {
+    try {
+      const std::uint64_t n_s = shard.hi - shard.lo;
+      const double inv_rate = 1.0 / static_cast<double>(n_s);
+      const double t_end = epoch_t0 + epoch_dt;
+      const ShardView view(live.data(), snapshot.data(), shard.lo,
+                           shard.hi);
+      ColorId* colors = live.data();
+      // Fresh first-gap draw each epoch: exact by memorylessness of the
+      // shard's Poisson(n_s) tick process.
+      double next_tick = epoch_t0 + exponential_unit(shard.rng) * inv_rate;
+      for (;;) {
+        const bool deliver = !shard.deliveries.empty() &&
+                             shard.deliveries.next_time() <= next_tick;
+        const double event_time =
+            deliver ? shard.deliveries.next_time() : next_tick;
+        if (event_time >= t_end) break;  // remainder handled next epoch
+        if (deliver) {
+          auto event = shard.deliveries.pop();
+          const NodeId u = event.payload.to;
+          if (blocking) shard.pending[u - shard.lo] = 0;
+          const ColorId next =
+              proto.apply_query(u, event.payload.query, view);
+          const ColorId old = colors[u];
+          if (next != old) {
+            colors[u] = next;
+            --shard.delta[old];
+            ++shard.delta[next];
+            shard.changed.push_back(u);
+          }
+        } else {
+          const auto u = static_cast<NodeId>(
+              shard.lo + uniform_below(shard.rng, n_s));
+          if (!blocking || !shard.pending[u - shard.lo]) {
+            auto query = proto.query(u, view, shard.rng);
+            const double delay = latency.sample(shard.rng);
+            shard.deliveries.push(next_tick + delay,
+                                  Delivery{u, std::move(query)});
+            if (blocking) shard.pending[u - shard.lo] = 1;
+          }
+          ++shard.ticks;
+          next_tick += exponential_unit(shard.rng) * inv_rate;
+        }
+      }
+    } catch (...) {
+      shard.error = std::current_exception();
+    }
+  };
+
+  detail::ShardWorkerPool workers(
+      shards, [&](std::uint64_t s) { run_epoch_in(pool[s]); });
+
+  AsyncRunResult result;
+  const auto run_epoch = [&](double t0, double dt) {
+    epoch_t0 = t0;
+    epoch_dt = dt;
+    workers.run_epoch();
+    for (auto& shard : pool) {
+      if (shard.error) std::rethrow_exception(shard.error);
+    }
+    OpinionTable& table = proto.mutable_table();
+    for (auto& shard : pool) {
+      table.merge_shard_deltas(shard.changed, live, shard.delta);
+      for (const NodeId u : shard.changed) snapshot[u] = live[u];
+      shard.changed.clear();
+      shard.delta.assign(num_colors, 0);
+      result.ticks += shard.ticks;
+      shard.ticks = 0;
+    }
+  };
+
+  double now = 0.0;
+  obs(now, proto);
+  while (now < max_time && !proto.done()) {
+    const double sample_end = std::min(now + sample_every, max_time);
+    while (now < sample_end && !proto.done()) {
+      const double dt = std::min(epoch_length, sample_end - now);
+      if (!(dt > 0.0)) break;  // floating-point residue at the boundary
+      run_epoch(now, dt);
+      now += dt;
+    }
+    if (now < max_time && !proto.done()) obs(now, proto);
+  }
+  result.time = proto.done() ? now : max_time;
+  obs(result.time, proto);
   result.consensus = proto.table().has_consensus();
   if (result.consensus) result.winner = proto.table().consensus_color();
   return result;

@@ -17,6 +17,8 @@
 #include "core/two_choices.hpp"
 #include "core/voter.hpp"
 #include "graph/complete.hpp"
+#include "graph/csr.hpp"
+#include "graph/factory.hpp"
 #include "opinion/assignment.hpp"
 #include "rng/seed.hpp"
 #include "sim/continuous_engine.hpp"
@@ -160,6 +162,76 @@ TEST(EngineEquivalence, HeapSuperpositionShardedAgreeOnE1Runs) {
   EXPECT_LT(ks_statistic(heap, sup), 0.45);
   EXPECT_LT(ks_statistic(heap, shard), 0.45);
   EXPECT_LT(ks_statistic(sup, shard), 0.45);
+}
+
+TEST(EngineEquivalence, ShardedOnGraphMatchesSequentialOnGraph) {
+  // The PR 5 acceptance gate for the topology axis: the sharded engine
+  // driving a protocol over the flat CSR view of a sparse graph
+  // samples the same process as the sequential driver on the concrete
+  // graph. Random 8-regular at n = 512: an expander, so consensus
+  // lands well inside the horizon.
+  GraphSpec spec;
+  spec.kind = GraphKind::kRandomRegular;
+  Xoshiro256 build_rng(123);
+  const AnyGraph any = make_graph(spec, 512, build_rng);
+  const CsrTopology csr = make_csr_view(any);
+  constexpr std::uint64_t kReps = 40;
+
+  auto make = [&](Xoshiro256& rng) {
+    return TwoChoicesAsync<CsrTopology>(
+        csr, assign_two_colors(512, (512 * 3) / 4, rng));
+  };
+  const auto seq = consensus_times(make, Engine::kSequential, kReps, 110);
+  const auto shard = consensus_times(make, Engine::kSharded, kReps, 120);
+
+  const Summary ss = summarize(seq);
+  const Summary sd = summarize(shard);
+  EXPECT_NEAR(ss.mean, sd.mean,
+              ss.ci95_halfwidth + sd.ci95_halfwidth + 1.0);
+  EXPECT_LT(ks_statistic(seq, shard), 0.45);
+}
+
+TEST(EngineEquivalence, ShardedQueuedMatchesMessagingUnderExpLatency) {
+  // The PR 5 acceptance gate for the latency axis: the sharded
+  // engine's per-shard delivery queues under the blocking discipline
+  // sample the same process as the single-stream messaging driver
+  // running the delayed protocol variant, for a genuinely *random*
+  // latency model.
+  const std::uint64_t n = 512;
+  const CompleteGraph g(n);
+  const ExponentialLatency latency(1.0);
+  constexpr std::uint64_t kReps = 40;
+
+  const SeedSequence msg_seeds(130);
+  std::vector<double> messaging_times;
+  messaging_times.reserve(kReps);
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+    Xoshiro256 rng = msg_seeds.make_rng(rep);
+    TwoChoicesAsyncDelayed proto(g, assign_two_colors(n, (n * 3) / 4, rng),
+                                 QueryDiscipline::kBlocking);
+    const auto result = run_continuous_messaging(proto, latency, rng, 1e6);
+    EXPECT_TRUE(result.consensus);
+    messaging_times.push_back(result.time);
+  }
+
+  const SeedSequence queued_seeds(140);
+  std::vector<double> queued_times;
+  queued_times.reserve(kReps);
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+    Xoshiro256 rng = queued_seeds.make_rng(rep);
+    TwoChoicesAsync proto(g, assign_two_colors(n, (n * 3) / 4, rng));
+    const auto result =
+        run_sharded_queued(proto, latency, QueryDiscipline::kBlocking,
+                           rng(), /*num_shards=*/4, 1e6);
+    EXPECT_TRUE(result.consensus);
+    queued_times.push_back(result.time);
+  }
+
+  const Summary sm = summarize(messaging_times);
+  const Summary sq = summarize(queued_times);
+  EXPECT_NEAR(sm.mean, sq.mean,
+              sm.ci95_halfwidth + sq.ci95_halfwidth + 1.0);
+  EXPECT_LT(ks_statistic(messaging_times, queued_times), 0.45);
 }
 
 TEST(EngineEquivalence, ZeroLatencyMessagingMatchesInstantEngines) {

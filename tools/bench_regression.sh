@@ -49,4 +49,16 @@ run --exp=topologies           --reps=2 --horizon=200 --n=1024
 run --exp=two_choices_lower_bound --reps=2 --max_k=16 --n=4096
 run --exp=two_choices_scaling  --reps=2 --max_n=4096
 
-echo "wrote $(ls "$OUT_DIR"/BENCH_*.json | wc -l) records to $OUT_DIR"
+# Full-composition snapshot: community graph x adversarial placement x
+# heavy-tail latency x sharded engine, through the unified RunPlan
+# dispatch. Written into its own subdirectory (and diffed with a second
+# bench_diff invocation) so it does not clobber the default-engine
+# record of the same experiment above. --shards is pinned for the same
+# host-independence reason as the latency_models entry.
+mkdir -p "$OUT_DIR/sharded_composition"
+"$BIN" --out-dir="$OUT_DIR/sharded_composition" --csv \
+  --exp=adversarial_placements --reps=3 --n=1024 --horizon=1000 \
+  --engine=sharded --shards=2 --placement=adversarial_boundary \
+  --latency=pareto --latency-mean=0.5 > /dev/null
+
+echo "wrote $(ls "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/sharded_composition/BENCH_*.json | wc -l) records to $OUT_DIR"
