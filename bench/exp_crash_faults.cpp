@@ -4,12 +4,14 @@
 // crashed node pins a dead color, so the table reports *live
 // agreement*: the fraction of surviving nodes on the live-plurality
 // color at the horizon, for both async Two-Choices and the phased
-// protocol.
+// protocol. Runs on any --graph= family and any --engine= (the phased
+// protocol falls back from sharded to superposition; the record's
+// engine_effective says which engine actually drove each arm).
 
 #include "bench_common.hpp"
 #include "core/async_one_extra_bit.hpp"
 #include "core/two_choices.hpp"
-#include "graph/complete.hpp"
+#include "graph/csr.hpp"
 #include "opinion/assignment.hpp"
 #include "sim/crash.hpp"
 #include "sim/sequential_engine.hpp"
@@ -27,14 +29,23 @@ int run_exp(ExperimentContext& ctx) {
       bench::make_plan(ctx, EngineKind::kSequential);
 
   const std::uint64_t n = ctx.args.get_u64("n", 1ull << 12);
-  const CompleteGraph g(n);
+  Xoshiro256 build_rng(ctx.master_seed);
+  const AnyGraph any = bench::topology(plan, n, build_rng);
+  const CsrTopology csr = make_csr_view(any);
+  const std::uint64_t n_eff = csr.num_nodes();
   const std::uint32_t k = 4;
-  const std::uint64_t bias = n / 4;
+  const std::uint64_t bias = n_eff / 4;
   const std::uint64_t crash_tick = ctx.args.get_u64("crash_tick", 50);
 
-  Table table("B2: live agreement under crash-stop faults  (n=" +
-                  std::to_string(n) + ", k=4, crash at own tick " +
-                  std::to_string(crash_tick) + ")",
+  // The resolved fault parameters, in the record's params block: the
+  // raw-args echo only carries what was explicitly passed.
+  ctx.note_param("crash_tick", JsonValue(crash_tick));
+  ctx.note_param("crash_fracs", JsonValue("0,0.05,0.1,0.25,0.5"));
+
+  Table table("B2: live agreement under crash-stop faults  (" +
+                  plan.graph.label() + ", n=" + std::to_string(n_eff) +
+                  ", k=4, crash at own tick " + std::to_string(crash_tick) +
+                  ")",
               {"crash_frac", "protocol", "live_agree", "ci95",
                "global_consensus"});
 
@@ -46,20 +57,20 @@ int run_exp(ExperimentContext& ctx) {
           ctx.reps, 2, seeds,
           [&](std::uint64_t, Xoshiro256& rng) {
             const auto crashes =
-                crash_fraction_plan(n, fraction, crash_tick, rng);
+                crash_fraction_plan(n_eff, fraction, crash_tick, rng);
             auto workload = bench::place_on(
-                ctx, g, counts_plurality_bias(n, k, bias), rng);
+                ctx, any, counts_plurality_bias(n_eff, k, bias), rng);
             if (phased) {
-              CrashAdapter<AsyncOneExtraBit<CompleteGraph>> proto(
-                  AsyncOneExtraBit<CompleteGraph>::make(
-                      g, std::move(workload)),
+              CrashAdapter<AsyncOneExtraBit<CsrTopology>> proto(
+                  AsyncOneExtraBit<CsrTopology>::make(
+                      csr, std::move(workload)),
                   crashes);
               const auto result = bench::run(plan, proto, rng, 2000.0);
               return std::vector<double>{proto.live_agreement(),
                                          result.consensus ? 1.0 : 0.0};
             }
-            CrashAdapter<TwoChoicesAsync<CompleteGraph>> proto(
-                TwoChoicesAsync<CompleteGraph>(g, std::move(workload)),
+            CrashAdapter<TwoChoicesAsync<CsrTopology>> proto(
+                TwoChoicesAsync<CsrTopology>(csr, std::move(workload)),
                 crashes);
             const auto result = bench::run(plan, proto, rng, 2000.0);
             return std::vector<double>{proto.live_agreement(),
@@ -67,7 +78,7 @@ int run_exp(ExperimentContext& ctx) {
           },
           ctx.threads);
       ctx.record("live_agreement",
-                 {{"n", n},
+                 {{"n", n_eff},
                   {"crash_frac", fraction},
                   {"protocol",
                    phased ? "async_oneextrabit" : "async_two_choices"}},
@@ -92,10 +103,14 @@ const ExperimentRegistrar kRegistrar{
     "Robustness probe: crashes a sweep of node fractions at tick "
     "--crash_tick= (crashed nodes stop ticking and answering) and "
     "measures whether the survivors still agree, for plain async "
-    "Two-Choices and the phased OneExtraBit protocol. Records "
-    "`live_agreement` (fraction of runs where all live nodes share one "
-    "color) per crash fraction and protocol. Overrides: --n=, "
-    "--crash_tick=.",
+    "Two-Choices and the phased OneExtraBit protocol, on any --graph= "
+    "family and --engine= (the phased protocol is not shardable and "
+    "falls back to superposition; engine_effective records what ran). "
+    "Records `live_agreement` (fraction of live nodes on the "
+    "live-plurality color) per crash fraction and protocol; the "
+    "resolved crash_tick and the crash_frac sweep land in the params "
+    "block. Overrides: --n=, --crash_tick=, --graph=, --engine=, "
+    "--placement=.",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

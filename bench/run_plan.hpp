@@ -95,16 +95,20 @@ struct RunPlan {
   GraphSpec graph;          ///< resolved --graph* (or experiment default)
   PlacementSpec placement;  ///< resolved --placement*
   LatencySpec latency;      ///< resolved --latency*
+  PerturbSpec perturb;      ///< resolved --perturb* (or experiment default)
   unsigned shards = 1;      ///< resolved --shards=
 };
 
 /// Resolves the plan for one experiment body: --engine= overrides
 /// `default_engine` (each experiment's historical model), --graph=
-/// overrides `default_graph`; the --graph-* family knobs apply either
-/// way.
+/// overrides `default_graph`, --perturb= overrides `default_perturb`
+/// (most experiments default to none; the recovery experiments default
+/// to their studied kind); the --graph-* / --perturb-* family knobs
+/// apply either way.
 inline RunPlan make_plan(const ExperimentContext& ctx,
                          EngineKind default_engine,
-                         GraphKind default_graph = GraphKind::kComplete) {
+                         GraphKind default_graph = GraphKind::kComplete,
+                         PerturbKind default_perturb = PerturbKind::kNone) {
   RunPlan plan;
   plan.ctx = &ctx;
   plan.engine = ctx.engine.empty() ? default_engine
@@ -113,8 +117,29 @@ inline RunPlan make_plan(const ExperimentContext& ctx,
   if (!ctx.args.has_flag("graph")) plan.graph.kind = default_graph;
   plan.placement = ctx.placement;
   plan.latency = ctx.latency;
+  plan.perturb = ctx.perturb;
+  if (!ctx.args.has_flag("perturb")) plan.perturb.kind = default_perturb;
   plan.shards = ctx.shards;
   return plan;
+}
+
+/// Mints the plan's Perturber for one run and attributes the kind into
+/// the record (perturb_effective) — the attribution happens here, at
+/// the only place a perturber can be built from a plan, so a record
+/// can only claim a kind whose event stream was actually wired into a
+/// run. Seeded from one word of `rng` (mirroring the shard-seed draw):
+/// the event stream is a function of that word alone, so it is
+/// bit-identical whichever engine later drains it. `topology` enables
+/// degree-targeted picks and adversary impact scoring; `churn` enables
+/// edge rewiring (see Perturber's contract for when each may be null).
+inline Perturber make_perturber(const RunPlan& plan, std::uint64_t n,
+                                ColorId num_colors, Xoshiro256& rng,
+                                const CsrTopology* topology = nullptr,
+                                ChurnableCsr* churn = nullptr) {
+  if (plan.perturb.kind != PerturbKind::kNone) {
+    plan.ctx->note_effective_perturb(perturb_kind_name(plan.perturb.kind));
+  }
+  return Perturber(plan.perturb, n, num_colors, rng(), topology, churn);
 }
 
 /// Builds the plan's topology for one sweep point and attributes the
@@ -141,11 +166,13 @@ AsyncRunResult run_queued(const RunPlan& plan, P& proto,
                           const LatencyModel& model,
                           QueryDiscipline discipline, Xoshiro256& rng,
                           double max_time, Obs&& obs = Obs{},
-                          double sample_every = 1.0) {
+                          double sample_every = 1.0,
+                          Perturber* perturb = nullptr) {
   plan.ctx->note_effective_engine(engine_kind_name(EngineKind::kSharded));
   plan.ctx->note_effective_latency(model.name());
   return run_sharded_queued(proto, model, discipline, rng(), plan.shards,
-                            max_time, std::forward<Obs>(obs), sample_every);
+                            max_time, std::forward<Obs>(obs), sample_every,
+                            /*epoch_length=*/0.25, perturb);
 }
 
 /// THE run dispatch for plain (non-messaging) async protocols: engine ×
@@ -155,13 +182,13 @@ AsyncRunResult run_queued(const RunPlan& plan, P& proto,
 template <typename P, typename Obs = NullObserver>
 AsyncRunResult run(const RunPlan& plan, P& proto, Xoshiro256& rng,
                    double max_time, Obs&& obs = Obs{},
-                   double sample_every = 1.0) {
+                   double sample_every = 1.0, Perturber* perturb = nullptr) {
   if (plan.latency.kind != LatencyKind::kZero) {
     if constexpr (DelayedShardableProtocol<P>) {
       const auto model = plan.latency.make();
       return run_queued(plan, proto, *model, QueryDiscipline::kBlocking,
                         rng, max_time, std::forward<Obs>(obs),
-                        sample_every);
+                        sample_every, perturb);
     } else {
       // Fall through to the instant-response dispatch below; the
       // warning is loud and the record carries no latency_effective
@@ -177,7 +204,8 @@ AsyncRunResult run(const RunPlan& plan, P& proto, Xoshiro256& rng,
   // Dispatch on `effective`, the same value that was just recorded, so
   // the JSON label and the engine that runs can never diverge.
   return run_async_engine(effective, proto, rng, shard_seed, plan.shards,
-                          max_time, std::forward<Obs>(obs), sample_every);
+                          max_time, std::forward<Obs>(obs), sample_every,
+                          perturb);
 }
 
 /// The run dispatch for *messaging* protocols (core/delayed.hpp) under

@@ -155,6 +155,13 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
       params[key] = typed_param(value);
     }
   }
+  // Resolved parameters the experiment body noted (crash fractions,
+  // injection horizons, ...): defaults the raw-args echo cannot see.
+  // Explicitly passed flags above win on key collision — what the user
+  // typed outranks what the body reports it resolved to.
+  for (const auto& [key, value] : ctx.noted_params()) {
+    if (!params.has(key)) params[key] = value;
+  }
   // The engines that actually ran (a sharded request can fall back per
   // protocol), so the record stays truthful even when it differs from
   // the requested --engine=.
@@ -188,6 +195,13 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
   if (const auto graphs = ctx.effective_graphs(); !graphs.empty()) {
     params["graph_effective"] = join_comma(graphs);
   }
+  // The perturbation kinds that actually drained events, in *every*
+  // record: "none" is a positive assertion that the samples ran
+  // unperturbed, so robustness baselines and perturbed runs are
+  // distinguishable without knowing which flags the invocation passed.
+  const auto perturbs = ctx.effective_perturbs();
+  params["perturb_effective"] =
+      perturbs.empty() ? std::string("none") : join_comma(perturbs);
   record["params"] = std::move(params);
 
   record["series"] = ctx.take_series();

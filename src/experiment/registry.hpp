@@ -33,6 +33,7 @@
 #include "rng/seed.hpp"
 #include "sim/engine_select.hpp"
 #include "sim/latency.hpp"
+#include "sim/perturb.hpp"
 
 namespace plurality {
 
@@ -108,6 +109,18 @@ class ExperimentContext {
     placement.fraction =
         args.get_double("placement-fraction", placement.fraction);
     placement.validate();
+    // Resolve and validate the --perturb* axis on the main thread for
+    // the same reason as the axes above: unknown kinds and nonsensical
+    // rates must fail at parse time naming the flag, never inside a
+    // worker lambda.
+    perturb.kind = parse_perturb_kind(args.get_string("perturb", "none"));
+    perturb.rate = args.get_double("perturb-rate", perturb.rate);
+    perturb.budget = args.get_u64("perturb-budget", perturb.budget);
+    perturb.start = args.get_double("perturb-start", perturb.start);
+    perturb.interval = args.get_double("perturb-interval", perturb.interval);
+    perturb.target =
+        parse_perturb_target(args.get_string("perturb-target", "uniform"));
+    perturb.validate();
   }
 
   Args args;
@@ -121,6 +134,9 @@ class ExperimentContext {
   GraphSpec graph;      ///< resolved --graph/--graph-p/--graph-degree/
                         ///< --graph-blocks/--graph-pin/--graph-pout
   PlacementSpec placement;  ///< resolved --placement/--placement-fraction
+  PerturbSpec perturb;      ///< resolved --perturb/--perturb-rate/
+                            ///< --perturb-budget/--perturb-start/
+                            ///< --perturb-interval/--perturb-target
 
   /// Independent seed stream for one sweep point of the experiment.
   SeedSequence seeds_for(std::uint64_t sweep_point) const {
@@ -211,6 +227,40 @@ class ExperimentContext {
     return placements_used_;
   }
 
+  /// Called by the bench harness with a perturbation kind that actually
+  /// drained events into a run (bench::make_perturber). Collected as
+  /// params.perturb_effective, which — unlike the other attribution
+  /// axes — appears in *every* record ("none" when nothing was noted):
+  /// a robustness baseline must assert positively that its samples ran
+  /// unperturbed. Thread-safe (repetition bodies run on workers).
+  void note_effective_perturb(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    perturbs_used_.insert(name);
+  }
+
+  /// All perturbation kinds noted during the run, sorted; empty when no
+  /// perturber was attached to any run.
+  std::set<std::string> effective_perturbs() const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    return perturbs_used_;
+  }
+
+  /// Records one resolved scalar parameter into the run's top-level
+  /// params block (e.g. the crash fraction or injection horizon an
+  /// experiment actually used, including defaults the CLI echo would
+  /// miss). Explicitly passed flags win on key collision; see
+  /// run_to_record. Thread-safe (repetition bodies run on workers).
+  void note_param(const std::string& key, JsonValue value) const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    noted_params_.insert_or_assign(key, std::move(value));
+  }
+
+  /// All parameters noted during the run, keyed by name.
+  std::map<std::string, JsonValue> noted_params() const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    return noted_params_;
+  }
+
  private:
   JsonValue series_ = JsonValue::array();
   mutable std::mutex engines_mutex_;
@@ -218,6 +268,8 @@ class ExperimentContext {
   mutable std::set<std::string> latencies_used_;
   mutable std::set<std::string> placements_used_;
   mutable std::set<std::string> graphs_used_;
+  mutable std::set<std::string> perturbs_used_;
+  mutable std::map<std::string, JsonValue> noted_params_;
 };
 
 /// A registered experiment.

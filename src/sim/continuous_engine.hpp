@@ -54,6 +54,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
 #include "sim/observers.hpp"
+#include "sim/perturb.hpp"
 #include "sim/result.hpp"
 #include "support/assert.hpp"
 
@@ -133,9 +134,15 @@ struct TickBatch {
 /// header). Observer cadence as in run_sequential. When the run is cut
 /// off by the horizon, result.time reports `max_time` — the simulated
 /// time actually reached — not the timestamp of the last event.
+///
+/// Perturbations (sim/perturb.hpp) drain at exact event-time order —
+/// every pending event with time <= the next tick applies before that
+/// tick — crashed nodes' ticks are swallowed, and the run continues
+/// past transient consensus until the driver is exhausted.
 template <AsyncProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_continuous(P& proto, Xoshiro256& rng, double max_time,
-                              Obs&& obs = Obs{}, double sample_every = 1.0) {
+                              Obs&& obs = Obs{}, double sample_every = 1.0,
+                              Perturber* perturb = nullptr) {
   PC_EXPECTS(max_time > 0.0);
   PC_EXPECTS(sample_every > 0.0);
   const std::uint64_t n = proto.num_nodes();
@@ -146,16 +153,23 @@ AsyncRunResult run_continuous(P& proto, Xoshiro256& rng, double max_time,
   AsyncRunResult result;
   double now = 0.0;
   double next_sample = 0.0;
-  while (!proto.done()) {
+  while (!(proto.done() &&
+           (perturb == nullptr || perturb->exhausted()))) {
     if (batch.next == detail::TickBatch::kSize) batch.refill(rng, n);
     const double tick_time = now + batch.waits[batch.next] * inv_n;
     if (tick_time > max_time) break;
+    if (perturb != nullptr && perturb->next_time() <= tick_time) {
+      detail::drain_perturbations(perturb, tick_time, proto);
+    }
     now = tick_time;
     while (next_sample <= now) {
       obs(next_sample, proto);
       next_sample += sample_every;
     }
-    proto.on_tick(static_cast<NodeId>(batch.nodes[batch.next]), rng);
+    const auto u = static_cast<NodeId>(batch.nodes[batch.next]);
+    if (perturb == nullptr || perturb->allows_tick(u)) {
+      proto.on_tick(u, rng);
+    }
     ++batch.next;
     ++result.ticks;
   }
@@ -168,10 +182,13 @@ AsyncRunResult run_continuous(P& proto, Xoshiro256& rng, double max_time,
 
 /// The reference n-timer simulation: every node's next tick sits in an
 /// event queue. Same process as run_continuous, O(log n) per tick.
+/// Perturbations integrate exactly as in run_continuous: drained in
+/// event-time order against the tick queue's head.
 template <AsyncProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_continuous_heap(P& proto, Xoshiro256& rng, double max_time,
                                    Obs&& obs = Obs{},
-                                   double sample_every = 1.0) {
+                                   double sample_every = 1.0,
+                                   Perturber* perturb = nullptr) {
   PC_EXPECTS(max_time > 0.0);
   PC_EXPECTS(sample_every > 0.0);
   const std::uint64_t n = proto.num_nodes();
@@ -186,15 +203,21 @@ AsyncRunResult run_continuous_heap(P& proto, Xoshiro256& rng, double max_time,
   AsyncRunResult result;
   double now = 0.0;
   double next_sample = 0.0;
-  while (!proto.done()) {
+  while (!(proto.done() &&
+           (perturb == nullptr || perturb->exhausted()))) {
     if (ticks.next_time() > max_time) break;
     const auto event = ticks.pop();
+    if (perturb != nullptr && perturb->next_time() <= event.time) {
+      detail::drain_perturbations(perturb, event.time, proto);
+    }
     now = event.time;
     while (next_sample <= now) {
       obs(next_sample, proto);
       next_sample += sample_every;
     }
-    proto.on_tick(event.payload, rng);
+    if (perturb == nullptr || perturb->allows_tick(event.payload)) {
+      proto.on_tick(event.payload, rng);
+    }
     ++result.ticks;
     ticks.push(now + exponential_unit(rng), event.payload);
   }

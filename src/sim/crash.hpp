@@ -38,14 +38,24 @@ class CrashAdapter {
   CrashAdapter(P inner, std::vector<std::uint64_t> crash_after_ticks)
       : inner_(std::move(inner)),
         crash_after_(std::move(crash_after_ticks)),
-        ticks_(inner_.num_nodes(), 0) {
+        ticks_(inner_.num_nodes(), 0),
+        crashed_support_(inner_.table().num_colors(), 0) {
     PC_EXPECTS(crash_after_.size() == inner_.num_nodes());
+    // Deadline 0 means dead on arrival: count those up front so the
+    // incremental counters start truthful.
+    for (NodeId u = 0; u < crash_after_.size(); ++u) {
+      if (crash_after_[u] == 0) mark_crashed(u);
+    }
   }
 
   void on_tick(NodeId u, Xoshiro256& rng) {
     if (ticks_[u] >= crash_after_[u]) return;  // crashed: clock is dead
     ++ticks_[u];
     inner_.on_tick(u, rng);
+    // Crash transition: the deadline tick just ran (the node dies
+    // *after* it), so the color the tick left behind is the one frozen
+    // forever — record it after inner_.on_tick, not before.
+    if (ticks_[u] == crash_after_[u]) mark_crashed(u);
   }
 
   std::uint64_t num_nodes() const noexcept { return inner_.num_nodes(); }
@@ -58,35 +68,38 @@ class CrashAdapter {
     return ticks_[u] >= crash_after_[u];
   }
 
-  /// Number of currently crashed nodes (O(n)).
-  std::uint64_t crashed_count() const noexcept {
-    std::uint64_t count = 0;
-    for (NodeId u = 0; u < ticks_.size(); ++u) {
-      count += (ticks_[u] >= crash_after_[u]);
-    }
-    return count;
-  }
+  /// Number of currently crashed nodes (O(1): maintained on each crash
+  /// transition; observers poll this every sample).
+  std::uint64_t crashed_count() const noexcept { return crashed_count_; }
 
-  /// Fraction of *live* nodes holding the live-plurality color (O(n));
-  /// 1.0 means the survivors agree even if crashed nodes pin others.
+  /// Fraction of *live* nodes holding the live-plurality color; 1.0
+  /// means the survivors agree even if crashed nodes pin others. O(k)
+  /// in the number of colors, not O(n): a crashed node's color is
+  /// frozen (its ticks are swallowed, nothing else writes through the
+  /// adapter), so per-color crashed support only changes on crash
+  /// transitions and live support is global minus crashed.
   double live_agreement() const {
-    std::vector<std::uint64_t> live_support(table().num_colors(), 0);
-    std::uint64_t live = 0;
-    for (NodeId u = 0; u < ticks_.size(); ++u) {
-      if (ticks_[u] >= crash_after_[u]) continue;
-      ++live;
-      ++live_support[table().color(u)];
-    }
+    const std::uint64_t live = num_nodes() - crashed_count_;
     if (live == 0) return 1.0;  // vacuous: everyone crashed
     std::uint64_t best = 0;
-    for (const auto s : live_support) best = std::max(best, s);
+    for (ColorId c = 0; c < crashed_support_.size(); ++c) {
+      best = std::max(best, table().support(c) - crashed_support_[c]);
+    }
     return static_cast<double>(best) / static_cast<double>(live);
   }
 
  private:
+  void mark_crashed(NodeId u) {
+    ++crashed_count_;
+    ++crashed_support_[inner_.table().color(u)];
+  }
+
   P inner_;
   std::vector<std::uint64_t> crash_after_;
   std::vector<std::uint64_t> ticks_;
+  std::uint64_t crashed_count_ = 0;
+  /// Support pinned by crashed nodes, per color (frozen at crash time).
+  std::vector<std::uint64_t> crashed_support_;
 };
 
 /// Crash plan: a uniform random fraction of nodes dies after

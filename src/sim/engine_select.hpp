@@ -89,29 +89,36 @@ constexpr EngineKind effective_engine_kind(EngineKind kind) noexcept {
 /// sharded engine's per-shard streams (the other engines draw from
 /// `rng`); `shards` = 0 picks the hardware concurrency. Protocols that
 /// do not satisfy ShardableProtocol run `sharded` requests on the
-/// superposition engine instead (see effective_engine_kind).
+/// superposition engine instead (see effective_engine_kind). An
+/// optional Perturber (sim/perturb.hpp) is drained by whichever engine
+/// runs — event-time order on the single-stream engines, epoch
+/// boundaries on the sharded one.
 template <AsyncProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_async_engine(EngineKind kind, P& proto, Xoshiro256& rng,
                                 std::uint64_t seed_for_shards,
                                 unsigned shards, double max_time,
                                 Obs&& obs = Obs{},
-                                double sample_every = 1.0) {
+                                double sample_every = 1.0,
+                                Perturber* perturb = nullptr) {
   switch (effective_engine_kind<P>(kind)) {
     case EngineKind::kSequential:
       return run_sequential(proto, rng, max_time, std::forward<Obs>(obs),
-                            sample_every);
+                            sample_every, perturb);
     case EngineKind::kHeap:
       return run_continuous_heap(proto, rng, max_time,
-                                 std::forward<Obs>(obs), sample_every);
+                                 std::forward<Obs>(obs), sample_every,
+                                 perturb);
     case EngineKind::kSuperposition:
       return run_continuous(proto, rng, max_time, std::forward<Obs>(obs),
-                            sample_every);
+                            sample_every, perturb);
     case EngineKind::kSharded:
       // effective_engine_kind only yields kSharded for shardable P; the
       // if constexpr keeps run_sharded uninstantiated otherwise.
       if constexpr (ShardableProtocol<P>) {
         return run_sharded(proto, seed_for_shards, shards, max_time,
-                           std::forward<Obs>(obs), sample_every);
+                           std::forward<Obs>(obs), sample_every,
+                           /*epoch_length=*/0.25, /*snapshot_reads=*/false,
+                           perturb);
       }
       break;
   }

@@ -7,16 +7,33 @@
 /// model match the continuous Poisson-clock model; experiment E9 checks
 /// that against our continuous engine.
 
+#include <cmath>
 #include <cstdint>
 #include <utility>
 
 #include "rng/distributions.hpp"
 #include "sim/concepts.hpp"
 #include "sim/observers.hpp"
+#include "sim/perturb.hpp"
 #include "sim/result.hpp"
 #include "support/assert.hpp"
 
 namespace plurality {
+
+namespace detail {
+
+/// First step index at or after parallel time `t` (steps / n >= t);
+/// `sentinel` for "never" (infinite next event time).
+inline std::uint64_t step_of_time(double t, std::uint64_t n,
+                                  std::uint64_t sentinel) noexcept {
+  if (!(t < static_cast<double>(sentinel) / static_cast<double>(n))) {
+    return sentinel;
+  }
+  if (t <= 0.0) return 0;
+  return static_cast<std::uint64_t>(std::ceil(t * static_cast<double>(n)));
+}
+
+}  // namespace detail
 
 /// Runs `proto` until done() or until parallel time reaches `max_time`.
 /// The observer fires every `sample_every` time units (and once at the
@@ -24,9 +41,16 @@ namespace plurality {
 /// `max_time` — the simulated horizon actually reached — not the
 /// (floored) step count over n. Requires max_time > 0 and
 /// sample_every > 0.
+///
+/// With a Perturber the engine drains its events at exact event times
+/// (the step boundary at or after each event), swallows ticks of
+/// crashed nodes (time still advances), and keeps running past
+/// transient consensus until the driver is exhausted (perturbations
+/// can break consensus after it forms).
 template <AsyncProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_sequential(P& proto, Xoshiro256& rng, double max_time,
-                              Obs&& obs = Obs{}, double sample_every = 1.0) {
+                              Obs&& obs = Obs{}, double sample_every = 1.0,
+                              Perturber* perturb = nullptr) {
   PC_EXPECTS(max_time > 0.0);
   PC_EXPECTS(sample_every > 0.0);
   const std::uint64_t n = proto.num_nodes();
@@ -36,20 +60,36 @@ AsyncRunResult run_sequential(P& proto, Xoshiro256& rng, double max_time,
       static_cast<std::uint64_t>(max_time * static_cast<double>(n));
   const auto sample_steps = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(sample_every * static_cast<double>(n)));
+  const std::uint64_t never = max_steps + 1;
 
   AsyncRunResult result;
   std::uint64_t steps = 0;
   // Countdown to the next observer sample: one decrement per step
   // instead of a 64-bit modulo in the hot loop.
   std::uint64_t until_sample = 0;
-  while (steps < max_steps && !proto.done()) {
+  std::uint64_t next_perturb_step =
+      perturb == nullptr
+          ? never
+          : detail::step_of_time(perturb->next_time(), n, never);
+  while (steps < max_steps &&
+         !(proto.done() &&
+           (perturb == nullptr || perturb->exhausted()))) {
+    if (steps >= next_perturb_step) {
+      detail::drain_perturbations(
+          perturb, static_cast<double>(steps) / static_cast<double>(n),
+          proto);
+      next_perturb_step =
+          detail::step_of_time(perturb->next_time(), n, never);
+    }
     if (until_sample == 0) {
       obs(static_cast<double>(steps) / static_cast<double>(n), proto);
       until_sample = sample_steps;
     }
     --until_sample;
     const auto u = static_cast<NodeId>(uniform_below(rng, n));
-    proto.on_tick(u, rng);
+    if (perturb == nullptr || perturb->allows_tick(u)) {
+      proto.on_tick(u, rng);
+    }
     ++steps;
   }
   result.ticks = steps;

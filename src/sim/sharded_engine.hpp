@@ -67,6 +67,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
 #include "sim/observers.hpp"
+#include "sim/perturb.hpp"
 #include "sim/result.hpp"
 #include "support/assert.hpp"
 
@@ -237,12 +238,23 @@ inline std::uint64_t resolve_shards(unsigned num_shards,
 /// only the node's own color is live — the constant-latency fold
 /// described in the file header (pair it with `epoch_length` set to
 /// the latency).
+///
+/// Perturbations (sim/perturb.hpp) drain on the *main thread at epoch
+/// boundaries* with the workers parked: each event applies at the
+/// first boundary at or after its time (epoch-quantized, never
+/// reordered), writing table + live + snapshot together so the next
+/// epoch's reads see it coherently. Crash suppression is a read-only
+/// bitmap lookup in the worker tick loop, stable within an epoch. The
+/// run continues past transient consensus until the driver is
+/// exhausted. Determinism for a fixed (seed, num_shards) is preserved:
+/// the driver owns its RNG stream and drains only between epochs.
 template <ShardableProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
                            double max_time, Obs&& obs = Obs{},
                            double sample_every = 1.0,
                            double epoch_length = 0.25,
-                           bool snapshot_reads = false) {
+                           bool snapshot_reads = false,
+                           Perturber* perturb = nullptr) {
   PC_EXPECTS(max_time > 0.0);
   PC_EXPECTS(sample_every > 0.0);
   PC_EXPECTS(epoch_length > 0.0);
@@ -286,6 +298,10 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
       for (std::uint64_t t = 0; t < ticks; ++t) {
         const auto u = static_cast<NodeId>(
             shard.lo + uniform_below(shard.rng, n_s));
+        // Crashed nodes' clocks are dead: the tick is swallowed (the
+        // bitmap is stable within an epoch — drains happen between
+        // epochs on the main thread).
+        if (perturb != nullptr && !perturb->allows_tick(u)) continue;
         // In snapshot_reads mode only the ticking node itself is read
         // live; every neighbor read hits the epoch-start snapshot.
         const ShardView view =
@@ -328,17 +344,34 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
     }
   };
 
+  // Perturbation drains run here on the main thread, workers parked:
+  // writes go to table + live + snapshot together so the next epoch's
+  // live and snapshot reads agree.
+  const auto apply_perturbations = [&](double t) {
+    if (perturb == nullptr || perturb->next_time() > t) return;
+    perturb->drain_until(t, proto.table(), [&](NodeId u, ColorId c) {
+      proto.mutable_table().set_color(u, c);
+      live[u] = c;
+      snapshot[u] = c;
+    });
+  };
+  const auto running = [&] {
+    return !(proto.done() &&
+             (perturb == nullptr || perturb->exhausted()));
+  };
+
   double now = 0.0;
   obs(now, proto);
-  while (now < max_time && !proto.done()) {
+  while (now < max_time && running()) {
     const double sample_end = std::min(now + sample_every, max_time);
-    while (now < sample_end && !proto.done()) {
+    while (now < sample_end && running()) {
       const double dt = std::min(epoch_length, sample_end - now);
       if (!(dt > 0.0)) break;  // floating-point residue at the boundary
       run_epoch(dt);
       now += dt;
+      apply_perturbations(now);
     }
-    if (now < max_time && !proto.done()) obs(now, proto);
+    if (now < max_time && running()) obs(now, proto);
   }
   result.time = proto.done() ? now : max_time;
   obs(result.time, proto);
@@ -369,13 +402,20 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
 /// of thread scheduling. done() is polled at epoch boundaries; when
 /// the horizon cuts the run, queries still in flight are dropped and
 /// result.time reports `max_time`.
+///
+/// Perturbations drain at epoch boundaries exactly as in run_sharded.
+/// A crashed node additionally stops issuing queries, and answers
+/// delivered to it are dropped (its in-flight flag still clears, so a
+/// node crashed mid-flight does not wedge the blocking discipline's
+/// bookkeeping).
 template <DelayedShardableProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
                                   QueryDiscipline discipline,
                                   std::uint64_t seed, unsigned num_shards,
                                   double max_time, Obs&& obs = Obs{},
                                   double sample_every = 1.0,
-                                  double epoch_length = 0.25) {
+                                  double epoch_length = 0.25,
+                                  Perturber* perturb = nullptr) {
   PC_EXPECTS(max_time > 0.0);
   PC_EXPECTS(sample_every > 0.0);
   PC_EXPECTS(epoch_length > 0.0);
@@ -437,6 +477,9 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
           auto event = shard.deliveries.pop();
           const NodeId u = event.payload.to;
           if (blocking) shard.pending[u - shard.lo] = 0;
+          // Answers to crashed nodes are dropped (flag still cleared
+          // above so the blocking bookkeeping cannot wedge).
+          if (perturb != nullptr && !perturb->allows_tick(u)) continue;
           const ColorId next =
               proto.apply_query(u, event.payload.query, view);
           const ColorId old = colors[u];
@@ -449,7 +492,9 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
         } else {
           const auto u = static_cast<NodeId>(
               shard.lo + uniform_below(shard.rng, n_s));
-          if (!blocking || !shard.pending[u - shard.lo]) {
+          const bool alive =
+              perturb == nullptr || perturb->allows_tick(u);
+          if (alive && (!blocking || !shard.pending[u - shard.lo])) {
             auto query = proto.query(u, view, shard.rng);
             const double delay = latency.sample(shard.rng);
             shard.deliveries.push(next_tick + delay,
@@ -487,17 +532,31 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
     }
   };
 
+  const auto apply_perturbations = [&](double t) {
+    if (perturb == nullptr || perturb->next_time() > t) return;
+    perturb->drain_until(t, proto.table(), [&](NodeId u, ColorId c) {
+      proto.mutable_table().set_color(u, c);
+      live[u] = c;
+      snapshot[u] = c;
+    });
+  };
+  const auto running = [&] {
+    return !(proto.done() &&
+             (perturb == nullptr || perturb->exhausted()));
+  };
+
   double now = 0.0;
   obs(now, proto);
-  while (now < max_time && !proto.done()) {
+  while (now < max_time && running()) {
     const double sample_end = std::min(now + sample_every, max_time);
-    while (now < sample_end && !proto.done()) {
+    while (now < sample_end && running()) {
       const double dt = std::min(epoch_length, sample_end - now);
       if (!(dt > 0.0)) break;  // floating-point residue at the boundary
       run_epoch(now, dt);
       now += dt;
+      apply_perturbations(now);
     }
-    if (now < max_time && !proto.done()) obs(now, proto);
+    if (now < max_time && running()) obs(now, proto);
   }
   result.time = proto.done() ? now : max_time;
   obs(result.time, proto);

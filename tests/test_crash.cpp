@@ -102,6 +102,52 @@ TEST(CrashFractionPlan, ZeroAndFullFractions) {
   EXPECT_THROW(crash_fraction_plan(100, 1.5, 1, rng), ContractViolation);
 }
 
+// The O(1)/O(k) incremental counters (crashed_count, live_agreement)
+// must agree with a from-scratch O(n) rescan at every point of a run
+// with staggered deadlines — including deadline-0 nodes counted at
+// construction and the exact crash-transition ticks.
+TEST(CrashAdapter, IncrementalCountersMatchBruteForceRescan) {
+  const std::uint64_t n = 256;
+  const CompleteGraph g(n);
+  Xoshiro256 rng(8);
+  std::vector<std::uint64_t> plan(n, kNeverCrashes);
+  for (NodeId u = 0; u < n; ++u) {
+    if (u % 3 == 0) plan[u] = u % 17;  // staggered; includes deadline 0
+  }
+  CrashAdapter<TwoChoicesAsync<CompleteGraph>> proto(
+      TwoChoicesAsync<CompleteGraph>(g, assign_equal(n, 4, rng)),
+      std::move(plan));
+
+  const auto brute_force_check = [&] {
+    std::uint64_t crashed = 0;
+    std::vector<std::uint64_t> live_support(proto.table().num_colors(), 0);
+    for (NodeId u = 0; u < n; ++u) {
+      if (proto.is_crashed(u)) {
+        ++crashed;
+      } else {
+        ++live_support[proto.table().color(u)];
+      }
+    }
+    EXPECT_EQ(proto.crashed_count(), crashed);
+    const std::uint64_t live = n - crashed;
+    std::uint64_t best = 0;
+    for (const auto s : live_support) best = std::max(best, s);
+    const double expected =
+        live == 0 ? 1.0
+                  : static_cast<double>(best) / static_cast<double>(live);
+    EXPECT_DOUBLE_EQ(proto.live_agreement(), expected);
+  };
+
+  brute_force_check();  // deadline-0 nodes already crashed
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      proto.on_tick(static_cast<NodeId>(uniform_below(rng, n)), rng);
+    }
+    brute_force_check();
+  }
+  EXPECT_GT(proto.crashed_count(), 0u);
+}
+
 TEST(CrashAdapter, SurvivorsStillReachLiveAgreementUnderLateCrashes) {
   const std::uint64_t n = 512;
   const CompleteGraph g(n);

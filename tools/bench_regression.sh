@@ -29,6 +29,10 @@ run --exp=clock_skew           --reps=2 --n=1024
 run --exp=crash_faults         --reps=2 --n=1024
 run --exp=delta_ablation       --reps=2 --n=1024
 run --exp=endgame              --reps=3 --max_n=8192 --n=4096
+# Reduced-scale R2: budgets scale with n, so n=1024 sweeps {4, 16, 64}
+# over both arms; the metastable static-boundary cells at budget 64 burn
+# horizon, keeping the record above bench_diff's --min-seconds floor.
+run --exp=late_adversary       --reps=3 --n=1024
 # Scale keeps this baseline above bench_diff's --min-seconds floor so
 # the latency-model sweep is actually gated in CI. --shards is pinned:
 # the const_fold_sharded series keys on the resolved shard count, and
@@ -42,6 +46,10 @@ run --exp=microbench_rng       --reps=2 --iters=100000
 run --exp=model_equivalence    --reps=3 --n=1024
 run --exp=one_extra_bit        --reps=2 --k=8 --max_k=16 --n=16384
 run --exp=quadratic_growth     --reps=2 --n=4096
+# Scale keeps the R1 rate x {sequential, sharded} sweep above
+# bench_diff's --min-seconds floor so the perturbation path is
+# actually gated in CI.
+run --exp=recovery_injection   --reps=4 --n=8192
 run --exp=response_delays      --reps=2 --n=1024
 run --exp=sync_gadget_ablation --reps=2 --max_n=8192
 run --exp=tick_concentration   --reps=2 --max_n=4096 --t=8
