@@ -4,6 +4,7 @@
 // constant beta, approaching 1 as beta reaches sqrt(log n) territory.
 
 #include <cmath>
+#include <deque>
 
 #include "bench_common.hpp"
 #include "core/two_choices.hpp"
@@ -22,36 +23,45 @@ int run_exp(ExperimentContext& ctx) {
 
   const std::uint64_t n_req = ctx.args.get_u64("n", 1ull << 14);
   Xoshiro256 build_rng(ctx.master_seed);
-  bench::with_topology(
-      ctx, n_req, build_rng,
-      [&](const auto& g) {
-        const std::uint64_t n = g.num_nodes();
-        const double sqrt_n = std::sqrt(static_cast<double>(n));
-        const double betas[] = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  const AnyGraph graph = bench::make_topology(ctx, n_req, build_rng);
+  const std::uint64_t n =
+      std::visit([](const auto& cg) { return cg.num_nodes(); }, graph);
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double betas[] = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
 
-        for (const std::uint32_t k : {2u, 5u}) {
-          Table table("E3: C1 win rate vs bias  (sync Two-Choices, n=" +
-                          std::to_string(n) + ", k=" + std::to_string(k) +
-                          ")",
-                      {"beta", "bias=beta*sqrt(n)", "bias/sqrt(n ln n)",
-                       "win_rate_C1", "mean_rounds"});
-          std::uint64_t sweep_point = k * 100;
-          for (const double beta : betas) {
-            const auto bias = static_cast<std::uint64_t>(beta * sqrt_n);
-            const auto seeds = ctx.seeds_for(sweep_point++);
-            const auto slots = run_repetitions_multi(
-                ctx.reps, 2, seeds,
-                [&](std::uint64_t, Xoshiro256& rng) {
+  // Both k-tables ride one job graph (see runner.hpp): all (k, beta,
+  // rep) leaves share the process executor; rows land in declaration
+  // order, tables print afterwards in k order.
+  SweepRunner sweep(ctx.threads);
+  std::deque<Table> tables;
+  for (const std::uint32_t k : {2u, 5u}) {
+    tables.emplace_back(
+        "E3: C1 win rate vs bias  (sync Two-Choices, n=" +
+            std::to_string(n) + ", k=" + std::to_string(k) + ")",
+        std::vector<std::string>{"beta", "bias=beta*sqrt(n)",
+                                 "bias/sqrt(n ln n)", "win_rate_C1",
+                                 "mean_rounds"});
+    Table& table = tables.back();
+    std::uint64_t sweep_point = k * 100;
+    for (const double beta : betas) {
+      const auto bias = static_cast<std::uint64_t>(beta * sqrt_n);
+      sweep.add_point(
+          ctx.reps, 2, ctx.seeds_for(sweep_point++),
+          [&ctx, &graph, n, k, bias](std::uint64_t, Xoshiro256& rng) {
+            return std::visit(
+                [&](const auto& cg) {
                   TwoChoicesSync proto(
-                      g, bench::place_on(ctx, g,
-                                         counts_plurality_bias(n, k, bias),
-                                         rng));
+                      cg, bench::place_on(ctx, cg,
+                                          counts_plurality_bias(n, k, bias),
+                                          rng));
                   const auto result = run_sync(proto, rng, 1000000);
                   return std::vector<double>{
                       (result.consensus && result.winner == 0) ? 1.0 : 0.0,
                       static_cast<double>(result.rounds)};
                 },
-                ctx.threads);
+                graph);
+          },
+          [&ctx, &table, n, k, beta, bias](const auto& slots) {
             ctx.record("c1_win_rate",
                        {{"n", n}, {"k", k}, {"beta", beta}, {"bias", bias}},
                        slots[0]);
@@ -66,10 +76,11 @@ int run_exp(ExperimentContext& ctx) {
                       2)
                 .cell(wins.mean, 3)
                 .cell(rounds.mean, 1);
-          }
-          table.print(std::cout, ctx.csv);
-        }
-      });
+          });
+    }
+  }
+  sweep.run();
+  for (Table& table : tables) table.print(std::cout, ctx.csv);
   return 0;
 }
 

@@ -7,6 +7,7 @@
 // rather than uniformly mixed (1-eps)n configuration.
 
 #include <cmath>
+#include <deque>
 
 #include "bench_common.hpp"
 #include "core/two_choices.hpp"
@@ -34,27 +35,42 @@ int run_exp(ExperimentContext& ctx) {
              {"n", "mean_time", "ci95", "p90", "win_rate", "time/ln(n)"});
   std::vector<double> xs;
   std::vector<double> ys;
+
+  // Both tables ride ONE job graph (see runner.hpp): every (point, rep)
+  // pair is a leaf on the process executor. Topologies are built up
+  // front in the historical order — all E8a graphs, then the E8b graph
+  // — so the build_rng draw sequence is unchanged; the deque keeps
+  // their addresses stable for the leaf lambdas.
+  std::deque<AnyGraph> graphs;
+  SweepRunner sweep(ctx.threads);
+  const auto body_for = [&ctx, &plan](const AnyGraph& g, std::uint64_t n_eff,
+                                      std::uint64_t c1) {
+    return [&ctx, &plan, &g, n_eff, c1](std::uint64_t, Xoshiro256& rng) {
+      return std::visit(
+          [&](const auto& cg) {
+            TwoChoicesAsync proto(
+                cg,
+                bench::place_on(ctx, cg, counts_two_colors(n_eff, c1), rng));
+            const auto result = bench::run(plan, proto, rng, 1e6);
+            return std::vector<double>{
+                result.time,
+                (result.consensus && result.winner == 0) ? 1.0 : 0.0};
+          },
+          g);
+    };
+  };
+
   std::uint64_t sweep_point = 0;
   for (std::uint64_t n = 2048; n <= max_n; n *= 2, ++sweep_point) {
-    bench::with_topology(
-        ctx, n, build_rng,
-        [&](const auto& g) {
-          const std::uint64_t n_eff = g.num_nodes();
-          const auto c1 = static_cast<std::uint64_t>(
-              (1.0 - eps_fixed) * static_cast<double>(n_eff));
-          const auto seeds = ctx.seeds_for(sweep_point);
-          const auto slots = run_repetitions_multi(
-              ctx.reps, 2, seeds,
-              [&](std::uint64_t, Xoshiro256& rng) {
-                TwoChoicesAsync proto(
-                    g, bench::place_on(ctx, g, counts_two_colors(n_eff, c1),
-                                       rng));
-                const auto result = bench::run(plan, proto, rng, 1e6);
-                return std::vector<double>{
-                    result.time,
-                    (result.consensus && result.winner == 0) ? 1.0 : 0.0};
-              },
-              ctx.threads);
+    graphs.push_back(bench::make_topology(ctx, n, build_rng));
+    const AnyGraph& g = graphs.back();
+    const std::uint64_t n_eff =
+        std::visit([](const auto& cg) { return cg.num_nodes(); }, g);
+    const auto c1 = static_cast<std::uint64_t>(
+        (1.0 - eps_fixed) * static_cast<double>(n_eff));
+    sweep.add_point(
+        ctx.reps, 2, ctx.seeds_for(sweep_point), body_for(g, n_eff, c1),
+        [&ctx, &by_n, &xs, &ys, n_eff, eps_fixed](const auto& slots) {
           ctx.record("endgame_time_vs_n", {{"n", n_eff}, {"eps", eps_fixed}},
                      slots[0]);
           const Summary time = summarize(slots[0]);
@@ -70,33 +86,20 @@ int run_exp(ExperimentContext& ctx) {
           ys.push_back(time.mean);
         });
   }
-  by_n.print(std::cout, ctx.csv);
-  bench::report_fit(ctx, "endgame time = a + b*ln(n) fit", fit_log_x(xs, ys));
 
   const std::uint64_t n = ctx.args.get_u64("n", 1ull << 14);
-  bench::with_topology(
-      ctx, n, build_rng,
-      [&](const auto& g) {
-        const std::uint64_t n_eff = g.num_nodes();
-        Table by_eps("E8b: endgame time vs eps  (n=" +
-                         std::to_string(n_eff) + ")",
-                     {"eps", "c1/n", "mean_time", "ci95", "win_rate"});
-        for (const double eps : {0.02, 0.05, 0.1, 0.2, 0.3}) {
-          const auto c1 = static_cast<std::uint64_t>(
-              (1.0 - eps) * static_cast<double>(n_eff));
-          const auto seeds = ctx.seeds_for(sweep_point++);
-          const auto slots = run_repetitions_multi(
-              ctx.reps, 2, seeds,
-              [&](std::uint64_t, Xoshiro256& rng) {
-                TwoChoicesAsync proto(
-                    g, bench::place_on(ctx, g, counts_two_colors(n_eff, c1),
-                                       rng));
-                const auto result = bench::run(plan, proto, rng, 1e6);
-                return std::vector<double>{
-                    result.time,
-                    (result.consensus && result.winner == 0) ? 1.0 : 0.0};
-              },
-              ctx.threads);
+  graphs.push_back(bench::make_topology(ctx, n, build_rng));
+  const AnyGraph& g_eps = graphs.back();
+  const std::uint64_t n_eff =
+      std::visit([](const auto& cg) { return cg.num_nodes(); }, g_eps);
+  Table by_eps("E8b: endgame time vs eps  (n=" + std::to_string(n_eff) + ")",
+               {"eps", "c1/n", "mean_time", "ci95", "win_rate"});
+  for (const double eps : {0.02, 0.05, 0.1, 0.2, 0.3}) {
+    const auto c1 = static_cast<std::uint64_t>(
+        (1.0 - eps) * static_cast<double>(n_eff));
+    sweep.add_point(
+        ctx.reps, 2, ctx.seeds_for(sweep_point++), body_for(g_eps, n_eff, c1),
+        [&ctx, &by_eps, n_eff, eps](const auto& slots) {
           ctx.record("endgame_time_vs_eps", {{"n", n_eff}, {"eps", eps}},
                      slots[0]);
           const Summary time = summarize(slots[0]);
@@ -107,9 +110,13 @@ int run_exp(ExperimentContext& ctx) {
               .cell(time.mean, 2)
               .cell(time.ci95_halfwidth, 2)
               .cell(wins.mean, 2);
-        }
-        by_eps.print(std::cout, ctx.csv);
-      });
+        });
+  }
+  sweep.run();
+
+  by_n.print(std::cout, ctx.csv);
+  bench::report_fit(ctx, "endgame time = a + b*ln(n) fit", fit_log_x(xs, ys));
+  by_eps.print(std::cout, ctx.csv);
   return 0;
 }
 

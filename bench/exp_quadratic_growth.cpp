@@ -20,29 +20,33 @@ int run_exp(ExperimentContext& ctx) {
 
   const std::uint64_t n_req = ctx.args.get_u64("n", 1ull << 16);
   Xoshiro256 build_rng(ctx.master_seed);
-  bench::with_topology(
-      ctx, n_req, build_rng,
-      [&](const auto& g) {
-        const std::uint64_t n = g.num_nodes();
-        const double ratios[] = {1.1, 1.25, 1.5, 2.0, 3.0};
+  const AnyGraph graph = bench::make_topology(ctx, n_req, build_rng);
+  const std::uint64_t n =
+      std::visit([](const auto& cg) { return cg.num_nodes(); }, graph);
+  const double ratios[] = {1.1, 1.25, 1.5, 2.0, 3.0};
 
-        Table table("E5: one-phase ratio amplification  (n=" +
-                        std::to_string(n) + ", k=2)",
-                    {"initial_ratio", "predicted_sq", "measured_mean",
-                     "measured_ci95", "measured/predicted"});
+  Table table("E5: one-phase ratio amplification  (n=" + std::to_string(n) +
+                  ", k=2)",
+              {"initial_ratio", "predicted_sq", "measured_mean",
+               "measured_ci95", "measured/predicted"});
 
-        std::uint64_t sweep_point = 0;
-        for (const double r : ratios) {
-          // c1 = r/(1+r) * n so that c1/c2 = r exactly (up to rounding).
-          const auto c1 = static_cast<std::uint64_t>(
-              r / (1.0 + r) * static_cast<double>(n));
-          const auto seeds = ctx.seeds_for(sweep_point++);
-          const auto measured = run_repetitions(
-              ctx.reps, seeds,
-              [&](std::uint64_t, Xoshiro256& rng) {
+  // One job graph over the whole ratio sweep (see runner.hpp): every
+  // (ratio, rep) pair is a leaf on the process executor; rows are
+  // recorded in declaration order after the sweep drains.
+  SweepRunner sweep(ctx.threads);
+  std::uint64_t sweep_point = 0;
+  for (const double r : ratios) {
+    // c1 = r/(1+r) * n so that c1/c2 = r exactly (up to rounding).
+    const auto c1 = static_cast<std::uint64_t>(
+        r / (1.0 + r) * static_cast<double>(n));
+    sweep.add_point(
+        ctx.reps, 1, ctx.seeds_for(sweep_point++),
+        [&ctx, &graph, n, c1](std::uint64_t, Xoshiro256& rng) {
+          return std::visit(
+              [&](const auto& cg) {
                 OneExtraBitSync proto(
-                    g, bench::place_on(ctx, g, counts_two_colors(n, c1),
-                                       rng));
+                    cg,
+                    bench::place_on(ctx, cg, counts_two_colors(n, c1), rng));
                 const double real_ratio =
                     static_cast<double>(proto.table().support(0)) /
                     static_cast<double>(proto.table().support(1));
@@ -52,13 +56,18 @@ int run_exp(ExperimentContext& ctx) {
                 // s2 == 0 cannot occur at these n (c2' ~ n/(1+r^2)), but
                 // guard by reporting the prediction so the mean is not
                 // poisoned.
-                if (s2 == 0) return real_ratio * real_ratio;
-                return static_cast<double>(s1) / static_cast<double>(s2);
+                const double measured =
+                    s2 == 0 ? real_ratio * real_ratio
+                            : static_cast<double>(s1) /
+                                  static_cast<double>(s2);
+                return std::vector<double>{measured};
               },
-              ctx.threads);
+              graph);
+        },
+        [&ctx, &table, n, r](const auto& slots) {
           ctx.record("amplified_ratio", {{"n", n}, {"initial_ratio", r}},
-                     measured);
-          const Summary m = summarize(measured);
+                     slots[0]);
+          const Summary m = summarize(slots[0]);
           const double predicted = r * r;
           table.row()
               .cell(r, 2)
@@ -66,9 +75,10 @@ int run_exp(ExperimentContext& ctx) {
               .cell(m.mean, 3)
               .cell(m.ci95_halfwidth, 3)
               .cell(m.mean / predicted, 3);
-        }
-        table.print(std::cout, ctx.csv);
-      });
+        });
+  }
+  sweep.run();
+  table.print(std::cout, ctx.csv);
   return 0;
 }
 

@@ -4,6 +4,7 @@
 // ln(n) should be linear with a small slope and high R^2.
 
 #include <cmath>
+#include <deque>
 
 #include "bench_common.hpp"
 #include "core/two_choices.hpp"
@@ -29,31 +30,40 @@ int run_exp(ExperimentContext& ctx) {
   std::vector<double> xs;
   std::vector<double> ys;
 
+  // The whole sweep is ONE job graph: every (n, rep) pair is a leaf on
+  // the process executor, so short small-n points fill workers that
+  // the big-n points leave idle. Topologies are built up front on the
+  // main thread in sweep order — the build_rng draw sequence (and so
+  // every graph) is identical to the historical per-point loop — and
+  // live in a deque so the leaf lambdas can hold stable references.
+  std::deque<AnyGraph> graphs;
+  SweepRunner sweep(ctx.threads);
   std::uint64_t sweep_point = 0;
   for (std::uint64_t n_req = 1024; n_req <= max_n;
        n_req *= 2, ++sweep_point) {
-    bench::with_topology(
-        ctx, n_req, build_rng,
-        [&](const auto& g) {
-          const std::uint64_t n = g.num_nodes();
-          const auto bias = static_cast<std::uint64_t>(std::sqrt(
-              static_cast<double>(n) * std::log(static_cast<double>(n))));
-          const auto seeds = ctx.seeds_for(sweep_point);
-
-          const auto slots = run_repetitions_multi(
-              ctx.reps, 2, seeds,
-              [&](std::uint64_t, Xoshiro256& rng) {
+    graphs.push_back(bench::make_topology(ctx, n_req, build_rng));
+    const AnyGraph& g = graphs.back();
+    const std::uint64_t n =
+        std::visit([](const auto& cg) { return cg.num_nodes(); }, g);
+    const auto bias = static_cast<std::uint64_t>(std::sqrt(
+        static_cast<double>(n) * std::log(static_cast<double>(n))));
+    sweep.add_point(
+        ctx.reps, 2, ctx.seeds_for(sweep_point),
+        [&ctx, &g, n, bias](std::uint64_t, Xoshiro256& rng) {
+          return std::visit(
+              [&](const auto& cg) {
                 TwoChoicesSync proto(
-                    g, bench::place_on(
-                           ctx, g, counts_two_colors(n, n / 2 + bias / 2),
-                           rng));
+                    cg, bench::place_on(
+                            ctx, cg, counts_two_colors(n, n / 2 + bias / 2),
+                            rng));
                 const auto result = run_sync(proto, rng, 100000);
                 return std::vector<double>{
                     static_cast<double>(result.rounds),
                     (result.consensus && result.winner == 0) ? 1.0 : 0.0};
               },
-              ctx.threads);
-
+              g);
+        },
+        [&ctx, &table, &xs, &ys, n, bias](const auto& slots) {
           ctx.record("rounds_vs_n", {{"n", n}, {"bias", bias}}, slots[0]);
           const Summary rounds = summarize(slots[0]);
           const Summary wins = summarize(slots[1]);
@@ -70,6 +80,7 @@ int run_exp(ExperimentContext& ctx) {
           ys.push_back(rounds.mean);
         });
   }
+  sweep.run();
 
   table.print(std::cout, ctx.csv);
   bench::report_fit(ctx, "rounds = a + b*ln(n) fit", fit_log_x(xs, ys));

@@ -14,9 +14,13 @@ namespace {
 /// Harness plumbing flags that select/route experiments but do not
 /// parameterize the measurement; echoing them into the record would
 /// make otherwise-identical trajectories diff on invocation details.
+/// --jobs= is plumbing by the determinism contract — results are
+/// bit-identical for every worker count — and its resolved value is
+/// recorded separately as jobs_effective.
 bool is_plumbing_key(const std::string& key) {
   return key == "exp" || key == "all" || key == "list" || key == "json" ||
-         key == "out-dir" || key == "no-json" || key == "csv";
+         key == "out-dir" || key == "no-json" || key == "csv" ||
+         key == "jobs";
 }
 
 /// Raw CLI values are strings; type them in the record (bare flag ->
@@ -174,6 +178,11 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
   // one recorded on a laptop even for experiments that happened to run
   // single-stream engines this time.
   params["shards_effective"] = ctx.shards;
+  // The resolved --jobs= thread cap, in *every* record: by the
+  // determinism contract it never changes a trajectory, but a wall
+  // clock recorded at --jobs=64 must be distinguishable from one
+  // recorded serially.
+  params["jobs_effective"] = ctx.jobs;
   // The latency models that actually drove runs (mirroring
   // engine_effective): most experiments ignore --latency, and a record
   // claiming a model its samples never used would misattribute them.

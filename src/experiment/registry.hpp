@@ -29,6 +29,7 @@
 #include "experiment/args.hpp"
 #include "experiment/json_writer.hpp"
 #include "graph/factory.hpp"
+#include "jobs/executor.hpp"
 #include "opinion/placement.hpp"
 #include "rng/seed.hpp"
 #include "sim/engine_select.hpp"
@@ -50,7 +51,20 @@ class ExperimentContext {
         threads(static_cast<unsigned>(args.get_u64("threads", 0))),
         engine(args.get_string("engine", "")),
         shards(static_cast<unsigned>(args.get_u64("shards", 0))),
+        jobs(static_cast<unsigned>(args.get_u64("jobs", 0))),
         csv(args.csv()) {
+    // Resolve --jobs=0 (hardware concurrency) up front and configure
+    // the process-wide thread cap: the work-stealing executor gets
+    // jobs - 1 workers (the main thread is the first thread) and every
+    // shard pool draws its threads from the same budget, so `jobs` is
+    // a hard ceiling on process concurrency. The resolved value lands
+    // in every JSON record (jobs_effective); results are bit-identical
+    // across --jobs= values by the determinism contract, so the record
+    // field documents the schedule, not the trajectory.
+    if (jobs == 0) {
+      jobs = std::max(1u, std::thread::hardware_concurrency());
+    }
+    jobs::set_process_concurrency(jobs);
     // Validate --engine= here, on the main thread: experiment bodies
     // resolve it inside per-repetition lambdas that run on unguarded
     // worker threads, where a throw would std::terminate the process
@@ -129,6 +143,8 @@ class ExperimentContext {
   unsigned threads;
   std::string engine;  ///< --engine= override; empty = experiment default
   unsigned shards;     ///< --shards=, resolved (0 -> hardware concurrency)
+  unsigned jobs;       ///< --jobs=, resolved (0 -> hardware concurrency);
+                       ///< the process-wide thread cap
   bool csv;
   LatencySpec latency;  ///< resolved --latency/--latency-mean/--latency-shape
   GraphSpec graph;      ///< resolved --graph/--graph-p/--graph-degree/

@@ -1,8 +1,28 @@
 #include "experiment/runner.hpp"
 
-#include <atomic>
+#include <utility>
+
+#include "jobs/executor.hpp"
 
 namespace plurality {
+
+namespace {
+
+/// per_rep[rep][slot] -> by_slot[slot][rep], validating row shape.
+std::vector<std::vector<double>> transpose_rows(
+    const std::vector<std::vector<double>>& per_rep, std::size_t slots) {
+  std::vector<std::vector<double>> by_slot(
+      slots, std::vector<double>(per_rep.size(), 0.0));
+  for (std::size_t rep = 0; rep < per_rep.size(); ++rep) {
+    PC_ASSERT(per_rep[rep].size() == slots);
+    for (std::size_t s = 0; s < slots; ++s) {
+      by_slot[s][rep] = per_rep[rep][s];
+    }
+  }
+  return by_slot;
+}
+
+}  // namespace
 
 std::vector<std::vector<double>> run_repetitions_multi(
     std::uint64_t reps, std::size_t slots, const SeedSequence& seeds,
@@ -11,43 +31,37 @@ std::vector<std::vector<double>> run_repetitions_multi(
     unsigned threads) {
   PC_EXPECTS(reps >= 1);
   PC_EXPECTS(slots >= 1);
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = static_cast<unsigned>(
-      std::min<std::uint64_t>(threads, reps));
 
   // results[rep][slot]; each repetition writes its own row, so no locks.
   std::vector<std::vector<double>> per_rep(reps);
-  std::atomic<std::uint64_t> next{0};
-
-  auto worker = [&]() {
-    for (;;) {
-      const std::uint64_t rep = next.fetch_add(1);
-      if (rep >= reps) return;
-      Xoshiro256 rng = seeds.make_rng(rep);
-      per_rep[rep] = body(rep, rng);
-      PC_ASSERT(per_rep[rep].size() == slots);
-    }
-  };
 
   if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+    // Pure serial on the caller: the baseline the determinism tests
+    // compare every parallel schedule against.
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      Xoshiro256 rng = seeds.make_rng(rep);
+      per_rep[rep] = body(rep, rng);
+    }
+    return transpose_rows(per_rep, slots);
   }
 
-  std::vector<std::vector<double>> by_slot(
-      slots, std::vector<double>(reps, 0.0));
+  jobs::JobGraph graph;
+  std::vector<jobs::JobGraph::JobId> leaves;
+  leaves.reserve(reps);
   for (std::uint64_t rep = 0; rep < reps; ++rep) {
-    for (std::size_t s = 0; s < slots; ++s) {
-      by_slot[s][rep] = per_rep[rep][s];
+    leaves.push_back(graph.add([&seeds, &body, &per_rep, rep] {
+      Xoshiro256 rng = seeds.make_rng(rep);
+      per_rep[rep] = body(rep, rng);
+    }));
+    // A chain to leaf rep - threads caps in-flight repetitions at
+    // `threads` without a shared counter (threads == 0: no cap; the
+    // executor's --jobs= worker budget is then the only limit).
+    if (threads != 0 && rep >= threads) {
+      graph.depend(leaves[rep], leaves[rep - threads]);
     }
   }
-  return by_slot;
+  jobs::Executor::process().run(graph);
+  return transpose_rows(per_rep, slots);
 }
 
 std::vector<double> run_repetitions(
@@ -61,6 +75,59 @@ std::vector<double> run_repetitions(
       },
       threads);
   return std::move(multi[0]);
+}
+
+void SweepRunner::add_point(std::uint64_t reps, std::size_t slots,
+                            SeedSequence seeds, Body body, Finish finish) {
+  PC_EXPECTS(!ran_);
+  PC_EXPECTS(reps >= 1);
+  PC_EXPECTS(slots >= 1);
+  PC_EXPECTS(static_cast<bool>(body));
+  PC_EXPECTS(static_cast<bool>(finish));
+  Point point{reps,        slots,
+              seeds,       std::move(body),
+              std::move(finish), std::vector<std::vector<double>>(reps)};
+  points_.push_back(std::move(point));
+}
+
+void SweepRunner::run() {
+  PC_EXPECTS(!ran_);
+  ran_ = true;
+
+  if (threads_ == 1) {
+    // Serial inline: execute and finish each point in declaration
+    // order — the reference schedule.
+    for (Point& point : points_) {
+      for (std::uint64_t rep = 0; rep < point.reps; ++rep) {
+        Xoshiro256 rng = point.seeds.make_rng(rep);
+        point.per_rep[rep] = point.body(rep, rng);
+      }
+      point.finish(transpose_rows(point.per_rep, point.slots));
+    }
+    return;
+  }
+
+  // One graph over the whole sweep: leaves in declaration order, the
+  // in-flight cap as chain dependencies across point boundaries.
+  jobs::JobGraph graph;
+  std::vector<jobs::JobGraph::JobId> leaves;
+  for (Point& point : points_) {
+    for (std::uint64_t rep = 0; rep < point.reps; ++rep) {
+      leaves.push_back(graph.add([&point, rep] {
+        Xoshiro256 rng = point.seeds.make_rng(rep);
+        point.per_rep[rep] = point.body(rep, rng);
+      }));
+      const std::size_t j = leaves.size() - 1;
+      if (threads_ != 0 && j >= threads_) {
+        graph.depend(leaves[j], leaves[j - threads_]);
+      }
+    }
+  }
+  jobs::Executor::process().run(graph);
+
+  for (Point& point : points_) {
+    point.finish(transpose_rows(point.per_rep, point.slots));
+  }
 }
 
 }  // namespace plurality

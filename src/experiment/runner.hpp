@@ -1,14 +1,26 @@
 #pragma once
 
 /// \file runner.hpp
-/// Seeded repetition runner. Each repetition gets its own RNG stream
+/// Seeded repetition runner on top of the process-wide work-stealing
+/// executor (src/jobs/). Each repetition gets its own RNG stream
 /// derived from (master seed, repetition index), so results are
 /// identical regardless of the number of worker threads — determinism
 /// is a property of the seed, parallelism only changes wall-clock time.
+///
+/// Two entry points:
+///   - run_repetitions / run_repetitions_multi: one sweep point, reps
+///     fanned out as executor jobs (the historical API, unchanged);
+///   - SweepRunner: a whole sweep declared up front as a DAG of
+///     (sweep-point, repetition) leaf jobs on ONE executor submission,
+///     so short points at the end of a sweep fill the cores that long
+///     early points leave idle. Per-point completion callbacks run on
+///     the calling thread in declaration order after the DAG drains,
+///     which keeps Welford aggregation, BENCH JSON records, and table
+///     printing bit-identical to a serial run regardless of job
+///     completion order.
 
 #include <cstdint>
 #include <functional>
-#include <thread>
 #include <vector>
 
 #include "rng/seed.hpp"
@@ -17,9 +29,12 @@
 namespace plurality {
 
 /// Runs `reps` repetitions of `body(rep_index, rng)` and collects the
-/// returned doubles in repetition order. `threads` = 0 picks the
-/// hardware concurrency. The body must be thread-safe with respect to
-/// its captures (each call receives an independent RNG).
+/// returned doubles in repetition order. `threads` caps how many
+/// repetitions may be in flight at once; 0 = no cap (the executor's
+/// worker count — the --jobs= budget — is then the only limit), 1 =
+/// pure serial on the calling thread. The body must be thread-safe
+/// with respect to its captures (each call receives an independent
+/// RNG).
 std::vector<double> run_repetitions(
     std::uint64_t reps, const SeedSequence& seeds,
     const std::function<double(std::uint64_t, Xoshiro256&)>& body,
@@ -32,5 +47,54 @@ std::vector<std::vector<double>> run_repetitions_multi(
     const std::function<std::vector<double>(std::uint64_t, Xoshiro256&)>&
         body,
     unsigned threads = 0);
+
+/// Declares a whole sweep as one job graph: call add_point() once per
+/// sweep point (in the order rows should be recorded/printed), then
+/// run(). Every (point, rep) pair becomes one leaf job with its RNG
+/// stream drawn from that point's SeedSequence at the rep index, and
+/// every leaf writes a pre-sized slot — so the transposed per-slot
+/// sample vectors handed to `finish` are bit-identical to a serial
+/// sweep for any worker count, including zero.
+///
+/// `threads` (0 = no cap, 1 = serial inline) bounds in-flight leaves
+/// across the WHOLE sweep via chain dependencies: leaf j cannot start
+/// before leaf j - threads completes. One SweepRunner is single-use.
+class SweepRunner {
+ public:
+  using Body = std::function<std::vector<double>(std::uint64_t, Xoshiro256&)>;
+  using Finish =
+      std::function<void(const std::vector<std::vector<double>>&)>;
+
+  explicit SweepRunner(unsigned threads = 0) : threads_(threads) {}
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  /// Declares one sweep point: `reps` repetitions of `body`, each
+  /// returning `slots` doubles, seeded from `seeds`. After the whole
+  /// sweep completes, `finish(by_slot)` is invoked on the calling
+  /// thread with by_slot[slot][rep], points in declaration order.
+  void add_point(std::uint64_t reps, std::size_t slots, SeedSequence seeds,
+                 Body body, Finish finish);
+
+  /// Executes every declared point's repetitions (one executor
+  /// submission), then the finish callbacks in declaration order.
+  /// Rethrows the first exception any body threw; finish callbacks do
+  /// not run in that case.
+  void run();
+
+ private:
+  struct Point {
+    std::uint64_t reps;
+    std::size_t slots;
+    SeedSequence seeds;
+    Body body;
+    Finish finish;
+    std::vector<std::vector<double>> per_rep;  // pre-sized result rows
+  };
+
+  unsigned threads_;
+  bool ran_ = false;
+  std::vector<Point> points_;
+};
 
 }  // namespace plurality

@@ -21,9 +21,13 @@
 /// OpinionTable::merge_shard_deltas), the snapshot absorbs the changes,
 /// and done() is polled; the observer fires at `sample_every`
 /// boundaries as in the other engines. The workers are a persistent
-/// pool — one thread per shard for the whole run, parked at the epoch
-/// barrier (detail::ShardWorkerPool) — since epochs are far too short
-/// to amortize a thread spawn.
+/// pool parked at the epoch barrier (detail::ShardWorkerPool) — epochs
+/// are far too short to amortize a thread spawn. The pool draws its
+/// threads from the process-wide --jobs= budget (src/jobs/budget.hpp):
+/// it asks for shards - 1 workers and multiplexes the shards over
+/// whatever lanes the budget grants plus the calling thread, so the
+/// shard count (and with it the trajectory) never depends on how many
+/// threads were actually available.
 ///
 /// Topology: protocols sample neighbors themselves (propose/query take
 /// the shard's RNG), so the engine runs on *any* GraphTopology — the
@@ -61,6 +65,7 @@
 #include <utility>
 #include <vector>
 
+#include "jobs/budget.hpp"
 #include "rng/distributions.hpp"
 #include "rng/seed.hpp"
 #include "sim/concepts.hpp"
@@ -123,23 +128,38 @@ concept DelayedShardableProtocol =
 
 namespace detail {
 
-/// The persistent worker pool behind both sharded drivers: one thread
-/// per shard for the whole run, parked at a generation-counter barrier
-/// between epochs (epochs are short — default 0.25 time units — so
-/// spawning threads per epoch would dominate the per-tick cost).
-/// `work(shard_index)` is invoked once per shard per run_epoch() call;
-/// it must not throw (the engines capture errors into their per-shard
-/// state and rethrow after the barrier). With one shard the work runs
-/// inline on the calling thread and no worker is spawned.
+/// The persistent worker pool behind both sharded drivers, parked at a
+/// generation-counter barrier between epochs (epochs are short —
+/// default 0.25 time units — so spawning threads per epoch would
+/// dominate the per-tick cost). `work(shard_index)` is invoked once
+/// per shard per run_epoch() call; it must not throw (the engines
+/// capture errors into their per-shard state and rethrow after the
+/// barrier).
+///
+/// Worker-budget handshake: at construction the pool acquires up to
+/// `shards - 1` threads from the process-wide jobs::ThreadBudget and
+/// multiplexes the shards over `granted + 1` lanes — the calling
+/// thread always runs lane 0, worker thread k runs lane k, and lane L
+/// executes shards L, L + lanes, L + 2*lanes, ... sequentially. The
+/// shard count (which keys the trajectory: per-shard RNG streams,
+/// ranges, merge order) is therefore decoupled from the thread count:
+/// under an exhausted budget (--jobs=1, or every token held by the
+/// executor) the pool degrades to running all shards on the caller,
+/// bit-identically. With one shard — or zero granted lanes — the work
+/// runs inline and no worker is spawned.
 class ShardWorkerPool {
  public:
   ShardWorkerPool(std::uint64_t shards,
                   std::function<void(std::uint64_t)> work)
-      : work_(std::move(work)) {
+      : work_(std::move(work)), shards_(shards) {
     if (shards <= 1) return;
-    workers_.reserve(shards);
-    for (std::uint64_t s = 0; s < shards; ++s) {
-      workers_.emplace_back([this, s] { worker_loop(s); });
+    granted_ = jobs::ThreadBudget::global().acquire(
+        static_cast<unsigned>(shards - 1));
+    lanes_ = granted_ + 1;
+    if (granted_ == 0) return;  // caller multiplexes every shard
+    workers_.reserve(granted_);
+    for (unsigned lane = 1; lane <= granted_; ++lane) {
+      workers_.emplace_back([this, lane] { worker_loop(lane); });
     }
   }
 
@@ -147,22 +167,33 @@ class ShardWorkerPool {
   ShardWorkerPool& operator=(const ShardWorkerPool&) = delete;
 
   ~ShardWorkerPool() {
-    if (workers_.empty()) return;
-    {
-      const std::lock_guard lock(mutex_);
-      stopping_ = true;
+    if (!workers_.empty()) {
+      {
+        const std::lock_guard lock(mutex_);
+        stopping_ = true;
+      }
+      work_cv_.notify_all();
+      for (auto& worker : workers_) worker.join();
     }
-    work_cv_.notify_all();
-    for (auto& worker : workers_) worker.join();
+    jobs::ThreadBudget::global().release(granted_);
   }
+
+  /// The number of lanes the shards are multiplexed over (granted
+  /// workers + the calling thread); 1 when everything runs inline.
+  unsigned lanes() const noexcept { return lanes_; }
 
   /// Runs the work on every shard and blocks until all are done. Any
   /// state the work reads (epoch length, buffers) must be written by
   /// the caller before this call; the barrier's mutex orders those
-  /// writes before the workers' reads.
+  /// writes before the workers' reads. The caller contributes lane 0
+  /// while the workers run theirs.
   void run_epoch() {
-    if (workers_.empty()) {
+    if (shards_ <= 1) {
       work_(0);
+      return;
+    }
+    if (workers_.empty()) {
+      for (std::uint64_t s = 0; s < shards_; ++s) work_(s);
       return;
     }
     {
@@ -171,12 +202,17 @@ class ShardWorkerPool {
       ++generation_;
     }
     work_cv_.notify_all();
+    run_lane(0);
     std::unique_lock lock(mutex_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });
   }
 
  private:
-  void worker_loop(std::uint64_t shard) {
+  void run_lane(unsigned lane) {
+    for (std::uint64_t s = lane; s < shards_; s += lanes_) work_(s);
+  }
+
+  void worker_loop(unsigned lane) {
     std::uint64_t seen = 0;
     for (;;) {
       {
@@ -186,7 +222,7 @@ class ShardWorkerPool {
         if (stopping_) return;
         seen = generation_;
       }
-      work_(shard);  // never throws; errors land in the engine's state
+      run_lane(lane);  // work_ never throws; errors land in engine state
       {
         const std::lock_guard lock(mutex_);
         if (--pending_ == 0) done_cv_.notify_one();
@@ -195,6 +231,9 @@ class ShardWorkerPool {
   }
 
   std::function<void(std::uint64_t)> work_;
+  std::uint64_t shards_ = 0;
+  unsigned granted_ = 0;  // budget tokens held for the pool's lifetime
+  unsigned lanes_ = 1;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

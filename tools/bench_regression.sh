@@ -69,4 +69,15 @@ mkdir -p "$OUT_DIR/sharded_composition"
   --engine=sharded --shards=2 --placement=adversarial_boundary \
   --latency=pareto --latency-mean=0.5 > /dev/null
 
-echo "wrote $(ls "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/sharded_composition/BENCH_*.json | wc -l) records to $OUT_DIR"
+# Parallel-catalog wall-clock entry: the heaviest sweep again, but on
+# the work-stealing executor with every host core (--jobs=0 resolves to
+# the core count). By the determinism contract the series are
+# bit-identical to the serial record above — what this entry adds is a
+# gated wall clock for the parallel path, and an end-to-end exercise of
+# the executor dispatch in every snapshot. Own subdirectory so the
+# record name does not clobber the serial one.
+mkdir -p "$OUT_DIR/parallel_catalog"
+"$BIN" --out-dir="$OUT_DIR/parallel_catalog" --csv \
+  --exp=two_choices_scaling --reps=2 --max_n=4096 --jobs=0 > /dev/null
+
+echo "wrote $(ls "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/sharded_composition/BENCH_*.json "$OUT_DIR"/parallel_catalog/BENCH_*.json | wc -l) records to $OUT_DIR"
