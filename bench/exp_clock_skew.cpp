@@ -31,12 +31,15 @@ int run_exp(ExperimentContext& ctx) {
               {"rate_profile", "mean_time", "ci95", "win_rate",
                "success"});
 
-  auto run_profile = [&](const std::string& name, auto make_rates,
+  // One profile = one sweep point on ONE job graph; records and rows
+  // come from finish callbacks in declaration order, bit-identical to
+  // the historical per-profile run_repetitions_multi loop.
+  SweepRunner runner(ctx.threads);
+  auto add_profile = [&](const std::string& name, auto make_rates,
                          std::uint64_t sweep_point) {
-    const auto seeds = ctx.seeds_for(sweep_point);
-    const auto slots = run_repetitions_multi(
-        ctx.reps, 3, seeds,
-        [&](std::uint64_t, Xoshiro256& rng) {
+    runner.add_point(
+        ctx.reps, 3, ctx.seeds_for(sweep_point),
+        [&ctx, &g, make_rates, n, k, bias](std::uint64_t, Xoshiro256& rng) {
           const auto rates = make_rates(rng);
           auto proto = AsyncOneExtraBit<CompleteGraph>::make(
               g, bench::place_on(ctx, g, counts_plurality_bias(n, k, bias),
@@ -48,29 +51,32 @@ int run_exp(ExperimentContext& ctx) {
               (result.consensus && result.winner == 0) ? 1.0 : 0.0,
               result.consensus ? 1.0 : 0.0};
         },
-        ctx.threads);
-    ctx.record("time_under_skew", {{"n", n}, {"k", k}, {"profile", name.c_str()}},
-               slots[0]);
-    ctx.record("win_under_skew", {{"n", n}, {"k", k}, {"profile", name.c_str()}},
-               slots[1]);
-    const Summary time = summarize(slots[0]);
-    table.row()
-        .cell(name)
-        .cell(time.mean, 1)
-        .cell(time.ci95_halfwidth, 1)
-        .cell(summarize(slots[1]).mean, 2)
-        .cell(summarize(slots[2]).mean, 2);
+        [&ctx, &table, name, n, k](const auto& slots) {
+          ctx.record("time_under_skew",
+                     {{"n", n}, {"k", k}, {"profile", name.c_str()}},
+                     slots[0]);
+          ctx.record("win_under_skew",
+                     {{"n", n}, {"k", k}, {"profile", name.c_str()}},
+                     slots[1]);
+          const Summary time = summarize(slots[0]);
+          table.row()
+              .cell(name)
+              .cell(time.mean, 1)
+              .cell(time.ci95_halfwidth, 1)
+              .cell(summarize(slots[1]).mean, 2)
+              .cell(summarize(slots[2]).mean, 2);
+        });
   };
 
   std::uint64_t sweep = 0;
-  run_profile("uniform (paper model)",
-              [&](Xoshiro256&) { return clock_rates::uniform(n); },
+  add_profile("uniform (paper model)",
+              [n](Xoshiro256&) { return clock_rates::uniform(n); },
               sweep++);
   for (const double sigma : {0.25, 0.5, 1.0}) {
     char name[48];
     std::snprintf(name, sizeof name, "log-normal sigma=%.2f", sigma);
-    run_profile(name,
-                [&, sigma](Xoshiro256& rng) {
+    add_profile(name,
+                [n, sigma](Xoshiro256& rng) {
                   return clock_rates::log_normal(n, sigma, rng);
                 },
                 sweep++);
@@ -78,12 +84,13 @@ int run_exp(ExperimentContext& ctx) {
   for (const double slow : {0.5, 0.25}) {
     char name[48];
     std::snprintf(name, sizeof name, "20%% of nodes at rate %.2f", slow);
-    run_profile(name,
-                [&, slow](Xoshiro256& rng) {
+    add_profile(name,
+                [n, slow](Xoshiro256& rng) {
                   return clock_rates::two_speed(n, 0.2, slow, rng);
                 },
                 sweep++);
   }
+  runner.run();
 
   table.print(std::cout, ctx.csv);
   return 0;

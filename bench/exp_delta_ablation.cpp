@@ -33,22 +33,27 @@ int run_exp(ExperimentContext& ctx) {
               {"delta_mult", "Delta", "sched_budget", "mean_time", "ci95",
                "win_rate", "poor_frac@2D"});
 
+  // One multiplier = one sweep point on ONE job graph. The schedule's
+  // delta/budget (deterministic per point) ride back as extra result
+  // slots rather than by-reference writes, so concurrent leaves stay
+  // race-free; only slots 0-1 are recorded, keeping the BENCH record
+  // bit-identical to the historical loop.
+  SweepRunner sweep(ctx.threads);
   std::uint64_t sweep_point = 0;
   for (const double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     AsyncParams params;
     params.delta_mult = mult;
-    const auto seeds = ctx.seeds_for(sweep_point++);
-    std::uint64_t delta = 0;
-    double budget = 0.0;
-    const auto slots = run_repetitions_multi(
-        ctx.reps, 3, seeds,
-        [&](std::uint64_t, Xoshiro256& rng) {
+    sweep.add_point(
+        ctx.reps, 5, ctx.seeds_for(sweep_point++),
+        [&ctx, &g, &plan, params, n, k, bias](std::uint64_t,
+                                              Xoshiro256& rng) {
           auto proto = AsyncOneExtraBit<CompleteGraph>::make(
               g, bench::place_on(ctx, g, counts_plurality_bias(n, k, bias),
                                  rng),
               params);
-          delta = proto.schedule().delta();
-          budget = static_cast<double>(proto.schedule().total_length());
+          const auto delta = static_cast<double>(proto.schedule().delta());
+          const auto budget =
+              static_cast<double>(proto.schedule().total_length());
           double max_poor = 0.0;
           const auto result = bench::run(plan, proto, rng, 1e6,
               [&](double, const AsyncOneExtraBit<CompleteGraph>& p) {
@@ -60,23 +65,25 @@ int run_exp(ExperimentContext& ctx) {
           return std::vector<double>{
               result.time,
               (result.consensus && result.winner == 0) ? 1.0 : 0.0,
-              max_poor};
+              max_poor, delta, budget};
         },
-        ctx.threads);
-    ctx.record("time_vs_delta_mult", {{"n", n}, {"k", k}, {"delta_mult", mult}},
-               slots[0]);
-    ctx.record("win_vs_delta_mult", {{"n", n}, {"k", k}, {"delta_mult", mult}},
-               slots[1]);
-    const Summary time = summarize(slots[0]);
-    table.row()
-        .cell(mult, 2)
-        .cell(delta)
-        .cell(budget, 0)
-        .cell(time.mean, 1)
-        .cell(time.ci95_halfwidth, 1)
-        .cell(summarize(slots[1]).mean, 2)
-        .cell(summarize(slots[2]).mean, 3);
+        [&ctx, &table, mult, n, k](const auto& slots) {
+          ctx.record("time_vs_delta_mult",
+                     {{"n", n}, {"k", k}, {"delta_mult", mult}}, slots[0]);
+          ctx.record("win_vs_delta_mult",
+                     {{"n", n}, {"k", k}, {"delta_mult", mult}}, slots[1]);
+          const Summary time = summarize(slots[0]);
+          table.row()
+              .cell(mult, 2)
+              .cell(static_cast<std::uint64_t>(slots[3][0]))
+              .cell(slots[4][0], 0)
+              .cell(time.mean, 1)
+              .cell(time.ci95_halfwidth, 1)
+              .cell(summarize(slots[1]).mean, 2)
+              .cell(summarize(slots[2]).mean, 3);
+        });
   }
+  sweep.run();
   table.print(std::cout, ctx.csv);
   return 0;
 }

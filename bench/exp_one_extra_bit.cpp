@@ -33,13 +33,17 @@ int run_exp(ExperimentContext& ctx) {
       {"k", "bias", "oeb_rounds", "oeb_ci95", "oeb_win", "tc_rounds",
        "tc_ci95", "tc_win", "tc/oeb"});
 
+  // Both tables' points go on ONE job graph; finish callbacks run in
+  // declaration order (all 4a points, then all 4b points), so records,
+  // rows, and the power-law fit are bit-identical to the historical
+  // two-loop version.
+  SweepRunner sweep(ctx.threads);
   std::uint64_t sweep_point = 0;
   for (std::uint64_t k = 8; k <= max_k; k *= 2, ++sweep_point) {
     const std::uint64_t bias = n / (k + 1);
-    const auto seeds = ctx.seeds_for(sweep_point);
-    const auto slots = run_repetitions_multi(
-        ctx.reps, 4, seeds,
-        [&](std::uint64_t, Xoshiro256& rng) {
+    sweep.add_point(
+        ctx.reps, 4, ctx.seeds_for(sweep_point),
+        [&ctx, &g, n, k, bias](std::uint64_t, Xoshiro256& rng) {
           OneExtraBitSync oeb(
               g, bench::place_on(
                      ctx, g,
@@ -58,27 +62,27 @@ int run_exp(ExperimentContext& ctx) {
               static_cast<double>(tc_result.rounds),
               (tc_result.consensus && tc_result.winner == 0) ? 1.0 : 0.0};
         },
-        ctx.threads);
-    ctx.record("oeb_rounds_vs_k", {{"n", n}, {"k", k}, {"bias", bias}},
-               slots[0]);
-    ctx.record("tc_rounds_vs_k", {{"n", n}, {"k", k}, {"bias", bias}},
-               slots[2]);
-    const Summary oeb_rounds = summarize(slots[0]);
-    const Summary oeb_wins = summarize(slots[1]);
-    const Summary tc_rounds = summarize(slots[2]);
-    const Summary tc_wins = summarize(slots[3]);
-    head_to_head.row()
-        .cell(k)
-        .cell(bias)
-        .cell(oeb_rounds.mean, 1)
-        .cell(oeb_rounds.ci95_halfwidth, 1)
-        .cell(oeb_wins.mean, 2)
-        .cell(tc_rounds.mean, 1)
-        .cell(tc_rounds.ci95_halfwidth, 1)
-        .cell(tc_wins.mean, 2)
-        .cell(tc_rounds.mean / oeb_rounds.mean, 2);
+        [&ctx, &head_to_head, n, k, bias](const auto& slots) {
+          ctx.record("oeb_rounds_vs_k", {{"n", n}, {"k", k}, {"bias", bias}},
+                     slots[0]);
+          ctx.record("tc_rounds_vs_k", {{"n", n}, {"k", k}, {"bias", bias}},
+                     slots[2]);
+          const Summary oeb_rounds = summarize(slots[0]);
+          const Summary oeb_wins = summarize(slots[1]);
+          const Summary tc_rounds = summarize(slots[2]);
+          const Summary tc_wins = summarize(slots[3]);
+          head_to_head.row()
+              .cell(k)
+              .cell(bias)
+              .cell(oeb_rounds.mean, 1)
+              .cell(oeb_rounds.ci95_halfwidth, 1)
+              .cell(oeb_wins.mean, 2)
+              .cell(tc_rounds.mean, 1)
+              .cell(tc_rounds.ci95_halfwidth, 1)
+              .cell(tc_wins.mean, 2)
+              .cell(tc_rounds.mean / oeb_rounds.mean, 2);
+        });
   }
-  head_to_head.print(std::cout, ctx.csv);
 
   // ---- Table 4b: OneExtraBit rounds vs n at fixed k (polylog growth).
   const std::uint64_t k_fixed = ctx.args.get_u64("k", 32);
@@ -91,10 +95,9 @@ int run_exp(ExperimentContext& ctx) {
   for (std::uint64_t nn = 4096; nn <= n; nn *= 4, ++sweep_point) {
     const CompleteGraph gg(nn);
     const std::uint64_t bias = nn / (k_fixed + 1);
-    const auto seeds = ctx.seeds_for(sweep_point);
-    const auto slots = run_repetitions_multi(
-        ctx.reps, 2, seeds,
-        [&](std::uint64_t, Xoshiro256& rng) {
+    sweep.add_point(
+        ctx.reps, 2, ctx.seeds_for(sweep_point),
+        [&ctx, gg, nn, k_fixed, bias](std::uint64_t, Xoshiro256& rng) {
           OneExtraBitSync proto(
               gg, bench::place_on(ctx, gg,
                                   counts_plurality_bias(
@@ -106,23 +109,27 @@ int run_exp(ExperimentContext& ctx) {
               static_cast<double>(result.rounds),
               (result.consensus && result.winner == 0) ? 1.0 : 0.0};
         },
-        ctx.threads);
-    ctx.record("oeb_rounds_vs_n", {{"n", nn}, {"k", k_fixed}, {"bias", bias}},
-               slots[0]);
-    const Summary rounds = summarize(slots[0]);
-    const Summary wins = summarize(slots[1]);
-    const double dn = static_cast<double>(nn);
-    growth.row()
-        .cell(nn)
-        .cell(rounds.mean, 1)
-        .cell(rounds.ci95_halfwidth, 1)
-        .cell(wins.mean, 2)
-        .cell(rounds.mean / (std::log(std::log(dn)) *
-                             std::log(static_cast<double>(k_fixed))),
-              2);
-    xs.push_back(dn);
-    ys.push_back(rounds.mean);
+        [&ctx, &growth, &xs, &ys, nn, k_fixed, bias](const auto& slots) {
+          ctx.record("oeb_rounds_vs_n",
+                     {{"n", nn}, {"k", k_fixed}, {"bias", bias}}, slots[0]);
+          const Summary rounds = summarize(slots[0]);
+          const Summary wins = summarize(slots[1]);
+          const double dn = static_cast<double>(nn);
+          growth.row()
+              .cell(nn)
+              .cell(rounds.mean, 1)
+              .cell(rounds.ci95_halfwidth, 1)
+              .cell(wins.mean, 2)
+              .cell(rounds.mean / (std::log(std::log(dn)) *
+                                   std::log(static_cast<double>(k_fixed))),
+                    2);
+          xs.push_back(dn);
+          ys.push_back(rounds.mean);
+        });
   }
+  sweep.run();
+
+  head_to_head.print(std::cout, ctx.csv);
   growth.print(std::cout, ctx.csv);
   bench::report_fit(ctx,
                     "OneExtraBit rounds ~ n^b power law (expect b ~ 0)",

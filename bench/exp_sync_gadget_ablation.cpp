@@ -42,6 +42,12 @@ int run_exp(ExperimentContext& ctx) {
               {"n", "gadget", "max_spread", "spread/Delta", "poor_frac@2D",
                "win_rate", "jumps/node/phase"});
 
+  // Every (n, gadget) pair is one sweep point on ONE job graph. The
+  // schedule's delta/num_phases (deterministic per point) ride back as
+  // extra result slots instead of by-reference writes, so concurrent
+  // leaves stay race-free; only slots 0-1 are recorded, keeping the
+  // BENCH record bit-identical to the historical nested loop.
+  SweepRunner sweep(ctx.threads);
   std::uint64_t sweep_point = 0;
   for (std::uint64_t n = 4096; n <= max_n; n *= 2) {
     const CompleteGraph g(n);
@@ -50,18 +56,18 @@ int run_exp(ExperimentContext& ctx) {
     for (const bool enabled : {true, false}) {
       AsyncParams params;
       params.sync_gadget_enabled = enabled;
-      const auto seeds = ctx.seeds_for(sweep_point++);
-      double delta = 1.0;
-      double phases = 1.0;
-      const auto slots = run_repetitions_multi(
-          ctx.reps, 4, seeds,
-          [&](std::uint64_t, Xoshiro256& rng) {
+      sweep.add_point(
+          ctx.reps, 6, ctx.seeds_for(sweep_point++),
+          [&ctx, &plan, g, params, n, bias](std::uint64_t,
+                                            Xoshiro256& rng) {
             auto proto = AsyncOneExtraBit<CompleteGraph>::make(
                 g, bench::place_on(ctx, g,
                                    counts_plurality_bias(n, 8, bias), rng),
                 params);
-            delta = static_cast<double>(proto.schedule().delta());
-            phases = static_cast<double>(proto.schedule().num_phases());
+            const auto delta =
+                static_cast<double>(proto.schedule().delta());
+            const auto phases =
+                static_cast<double>(proto.schedule().num_phases());
             SpreadProbe probe;
             probe.window = 2 * proto.schedule().delta();
             const double horizon =
@@ -74,27 +80,32 @@ int run_exp(ExperimentContext& ctx) {
                 static_cast<double>(probe.max_spread), probe.max_poor,
                 won ? 1.0 : 0.0,
                 static_cast<double>(proto.jumps_performed()) /
-                    static_cast<double>(n)};
+                    static_cast<double>(n),
+                delta, phases};
           },
-          ctx.threads);
-      ctx.record("max_spread",
-                 {{"n", n}, {"gadget", enabled ? "on" : "off"}}, slots[0]);
-      ctx.record("poor_frac",
-                 {{"n", n}, {"gadget", enabled ? "on" : "off"}}, slots[1]);
-      const Summary spread = summarize(slots[0]);
-      const Summary poor = summarize(slots[1]);
-      const Summary wins = summarize(slots[2]);
-      const Summary jumps = summarize(slots[3]);
-      table.row()
-          .cell(n)
-          .cell(enabled ? "on" : "off")
-          .cell(spread.mean, 1)
-          .cell(spread.mean / delta, 2)
-          .cell(poor.mean, 3)
-          .cell(wins.mean, 2)
-          .cell(jumps.mean / phases, 2);
+          [&ctx, &table, n, enabled](const auto& slots) {
+            ctx.record("max_spread",
+                       {{"n", n}, {"gadget", enabled ? "on" : "off"}},
+                       slots[0]);
+            ctx.record("poor_frac",
+                       {{"n", n}, {"gadget", enabled ? "on" : "off"}},
+                       slots[1]);
+            const Summary spread = summarize(slots[0]);
+            const Summary poor = summarize(slots[1]);
+            const Summary wins = summarize(slots[2]);
+            const Summary jumps = summarize(slots[3]);
+            table.row()
+                .cell(n)
+                .cell(enabled ? "on" : "off")
+                .cell(spread.mean, 1)
+                .cell(spread.mean / slots[4][0], 2)
+                .cell(poor.mean, 3)
+                .cell(wins.mean, 2)
+                .cell(jumps.mean / slots[5][0], 2);
+          });
     }
   }
+  sweep.run();
   table.print(std::cout, ctx.csv);
   return 0;
 }

@@ -65,12 +65,16 @@ int run_exp(ExperimentContext& ctx) {
               {"n", "max_dev_mean", "ci95", "envelope", "dev/envelope",
                "min_ticks", "max_ticks"});
 
+  // The whole n-sweep is ONE job graph: every (n, rep) pair is a leaf
+  // on the process executor; records and table rows are emitted by the
+  // finish callbacks in declaration order, bit-identical to the
+  // historical per-point loop.
+  SweepRunner sweep(ctx.threads);
   std::uint64_t sweep_point = 0;
   for (std::uint64_t n = 1024; n <= max_n; n *= 4, ++sweep_point) {
-    const auto seeds = ctx.seeds_for(sweep_point);
-    const auto slots = run_repetitions_multi(
-        ctx.reps, 3, seeds,
-        [&](std::uint64_t, Xoshiro256& rng) {
+    sweep.add_point(
+        ctx.reps, 3, ctx.seeds_for(sweep_point),
+        [&plan, n, horizon](std::uint64_t, Xoshiro256& rng) {
           ClockEnsemble clocks(n);
           bench::run(plan, clocks, rng,
                            horizon);
@@ -81,20 +85,23 @@ int run_exp(ExperimentContext& ctx) {
           return std::vector<double>{dev, static_cast<double>(lo),
                                      static_cast<double>(hi)};
         },
-        ctx.threads);
-    ctx.record("max_tick_deviation", {{"n", n}, {"t", horizon}}, slots[0]);
-    const Summary dev = summarize(slots[0]);
-    const double ln_n = std::log(static_cast<double>(n));
-    const double envelope = std::sqrt(2.0 * horizon * ln_n) + ln_n;
-    table.row()
-        .cell(n)
-        .cell(dev.mean, 1)
-        .cell(dev.ci95_halfwidth, 1)
-        .cell(envelope, 1)
-        .cell(dev.mean / envelope, 2)
-        .cell(summarize(slots[1]).mean, 1)
-        .cell(summarize(slots[2]).mean, 1);
+        [&ctx, &table, n, horizon](const auto& slots) {
+          ctx.record("max_tick_deviation", {{"n", n}, {"t", horizon}},
+                     slots[0]);
+          const Summary dev = summarize(slots[0]);
+          const double ln_n = std::log(static_cast<double>(n));
+          const double envelope = std::sqrt(2.0 * horizon * ln_n) + ln_n;
+          table.row()
+              .cell(n)
+              .cell(dev.mean, 1)
+              .cell(dev.ci95_halfwidth, 1)
+              .cell(envelope, 1)
+              .cell(dev.mean / envelope, 2)
+              .cell(summarize(slots[1]).mean, 1)
+              .cell(summarize(slots[2]).mean, 1);
+        });
   }
+  sweep.run();
   table.print(std::cout, ctx.csv);
   if (!ctx.csv) {
     std::printf(

@@ -16,11 +16,13 @@ namespace {
 /// make otherwise-identical trajectories diff on invocation details.
 /// --jobs= is plumbing by the determinism contract — results are
 /// bit-identical for every worker count — and its resolved value is
-/// recorded separately as jobs_effective.
+/// recorded separately as jobs_effective. --trace= is plumbing for the
+/// same reason: tracing observes the schedule without touching any
+/// trajectory, and the resolved mode lands in record["trace"].mode.
 bool is_plumbing_key(const std::string& key) {
   return key == "exp" || key == "all" || key == "list" || key == "json" ||
          key == "out-dir" || key == "no-json" || key == "csv" ||
-         key == "jobs";
+         key == "jobs" || key == "trace";
 }
 
 /// Raw CLI values are strings; type them in the record (bare flag ->
@@ -111,12 +113,42 @@ std::vector<const Experiment*> ExperimentRegistry::list() const {
 JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
                                             const Args& args) const {
   ExperimentContext ctx(args, experiment.default_reps);
+  // Arm the trace registry for exactly this run: fresh sinks, the
+  // requested mode gating every hot path. Shard pools are per-run and
+  // executor workers are parked between runs, so configure/drain happen
+  // with the instrumented threads quiescent.
+  trace::Registry::instance().configure(ctx.trace_spec);
 
   const auto start = std::chrono::steady_clock::now();
   const int exit_code = experiment.run(ctx);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  // Drain the trace: merge every sink's aggregates, fold the summary
+  // into the record (below), and append the contention series the
+  // bench trajectory gates. The queue-depth quantiles are trajectory
+  // properties (deterministic for a fixed seed/shards), so they ride
+  // the strict --series-z gate; wait fractions and steal counts are
+  // schedule properties and are skip-listed in tools/bench_diff.py.
+  const trace::TraceSummary tsum = trace::Registry::instance().summarize();
+  if (tsum.depth_samples > 0) {
+    const double p50[] = {static_cast<double>(tsum.depth_p50)};
+    const double p99[] = {static_cast<double>(tsum.depth_p99)};
+    ctx.record("trace_queue_depth_p50", {{"source", "trace"}}, p50);
+    ctx.record("trace_queue_depth_p99", {{"source", "trace"}}, p99);
+  }
+  if (tsum.barrier_wait_count > 0) {
+    const double frac[] = {tsum.barrier_wait_frac()};
+    ctx.record("trace_barrier_wait_frac", {{"source", "trace"}}, frac);
+  }
+  if (tsum.steal_count > 0) {
+    const double steals[] = {static_cast<double>(tsum.steal_count)};
+    ctx.record("trace_steal_count", {{"source", "trace"}}, steals);
+  }
+  if (ctx.trace_spec.mode == trace::Mode::kTimeline) {
+    trace::Registry::instance().write_timeline(ctx.trace_spec.path);
+  }
 
   JsonValue record = JsonValue::object();
   record["schema_version"] = 1;
@@ -214,6 +246,28 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
   record["params"] = std::move(params);
 
   record["series"] = ctx.take_series();
+
+  // The contention summary, in *every* record: like wall_clock_seconds
+  // it documents the schedule, not the trajectory, so diff tooling and
+  // determinism tests treat it as non-trajectory metadata.
+  JsonValue trace_obj = JsonValue::object();
+  trace_obj["mode"] = trace::mode_name(ctx.trace_spec.mode);
+  trace_obj["barrier_wait_frac"] = tsum.barrier_wait_frac();
+  trace_obj["barrier_wait_ns"] = tsum.barrier_wait_ns;
+  trace_obj["barrier_wait_count"] = tsum.barrier_wait_count;
+  trace_obj["work_ns"] = tsum.work_ns;
+  trace_obj["ticks"] = tsum.ticks;
+  trace_obj["queue_drained"] = tsum.queue_drained;
+  trace_obj["queue_depth_p50"] = tsum.depth_p50;
+  trace_obj["queue_depth_p99"] = tsum.depth_p99;
+  trace_obj["queue_depth_samples"] = tsum.depth_samples;
+  trace_obj["steal_count"] = tsum.steal_count;
+  trace_obj["park_count"] = tsum.park_count;
+  trace_obj["park_ns"] = tsum.park_ns;
+  trace_obj["events_recorded"] = tsum.events_recorded;
+  trace_obj["trace_dropped"] = tsum.dropped;
+  record["trace"] = std::move(trace_obj);
+
   record["exit_code"] = exit_code;
   record["wall_clock_seconds"] = wall_seconds;
   return record;

@@ -35,6 +35,7 @@
 #include "sim/engine_select.hpp"
 #include "sim/latency.hpp"
 #include "sim/perturb.hpp"
+#include "trace/trace.hpp"
 
 namespace plurality {
 
@@ -135,6 +136,11 @@ class ExperimentContext {
     perturb.target =
         parse_perturb_target(args.get_string("perturb-target", "uniform"));
     perturb.validate();
+    // Resolve --trace= on the main thread too (same loud-failure policy
+    // as the axes above). The default is summary mode: the aggregate
+    // counters are cheap enough to leave on, and every BENCH record
+    // carries the contention summary unless tracing is explicitly off.
+    trace_spec = trace::parse_trace_spec(args.get_string("trace", "summary"));
   }
 
   Args args;
@@ -153,6 +159,7 @@ class ExperimentContext {
   PerturbSpec perturb;      ///< resolved --perturb/--perturb-rate/
                             ///< --perturb-budget/--perturb-start/
                             ///< --perturb-interval/--perturb-target
+  trace::TraceSpec trace_spec;  ///< resolved --trace= (off|summary|FILE)
 
   /// Independent seed stream for one sweep point of the experiment.
   SeedSequence seeds_for(std::uint64_t sweep_point) const {

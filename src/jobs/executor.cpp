@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace plurality::jobs {
 
 namespace detail {
@@ -169,10 +171,20 @@ void Executor::wait(JobGraph& graph) {
           "(dependency cycle?)");
     }
     // Completion notifies done_cv_; the timeout lets the caller resume
-    // helping when workers release new continuations.
+    // helping when workers release new continuations. This is the
+    // caller's completion barrier — time spent here is the DAG's tail
+    // imbalance, traced as a barrier wait like the shard pools' epoch
+    // barrier.
+    const bool traced = trace::enabled();
+    const std::int64_t wait_t0 = traced ? trace::now_ns() : 0;
     graph.done_cv_.wait_for(lock, std::chrono::milliseconds(10), [&] {
       return graph.remaining_.load(std::memory_order_acquire) == 0;
     });
+    if (traced) {
+      lock.unlock();
+      trace::local_sink().barrier_wait(wait_t0,
+                                       trace::now_ns() - wait_t0);
+    }
   }
   if (graph.failed()) {
     std::exception_ptr error;
@@ -220,6 +232,7 @@ JobGraph::Node* Executor::steal_from_workers(unsigned self_index,
     detail::WorkDeque& prey = *workers_[victim].deque;
     JobGraph::Node* node = prey.steal();
     if (node == nullptr) continue;
+    std::uint64_t migrated = 1;
     if (migrate) {
       // Steal-half: migrate up to half of the victim's remaining queue
       // into our own deque so the next idle pass finds local work.
@@ -229,7 +242,11 @@ JobGraph::Node* Executor::steal_from_workers(unsigned self_index,
         JobGraph::Node* moved = prey.steal();
         if (moved == nullptr) break;
         workers_[tl_worker.index].deque->push(moved);
+        ++migrated;
       }
+    }
+    if (trace::enabled()) {
+      trace::local_sink().steal(trace::now_ns(), migrated);
     }
     return node;
   }
@@ -299,11 +316,21 @@ void Executor::worker_loop(unsigned index) {
       execute(node);
       continue;
     }
-    std::unique_lock<std::mutex> lock(park_mutex_);
-    park_cv_.wait(lock, [&] {
-      return stop_.load(std::memory_order_relaxed) ||
-             ready_.load(std::memory_order_relaxed) > 0;
-    });
+    // Park-span trace: the stop_ wake is shutdown (and may race static
+    // destruction of the trace registry), so only wakes that lead back
+    // into work are recorded.
+    const bool traced = trace::enabled();
+    const std::int64_t park_t0 = traced ? trace::now_ns() : 0;
+    {
+      std::unique_lock<std::mutex> lock(park_mutex_);
+      park_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               ready_.load(std::memory_order_relaxed) > 0;
+      });
+    }
+    if (traced && !stop_.load(std::memory_order_acquire)) {
+      trace::local_sink().park(park_t0, trace::now_ns() - park_t0);
+    }
   }
 }
 

@@ -75,6 +75,7 @@
 #include "sim/perturb.hpp"
 #include "sim/result.hpp"
 #include "support/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace plurality {
 
@@ -203,8 +204,18 @@ class ShardWorkerPool {
     }
     work_cv_.notify_all();
     run_lane(0);
-    std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    // The caller's barrier wait is the headline contention signal:
+    // time lane 0 sits here is load imbalance across the lanes.
+    const bool traced = trace::enabled();
+    const std::int64_t wait_t0 = traced ? trace::now_ns() : 0;
+    {
+      std::unique_lock lock(mutex_);
+      done_cv_.wait(lock, [&] { return pending_ == 0; });
+    }
+    if (traced) {
+      trace::local_sink().barrier_wait(wait_t0,
+                                       trace::now_ns() - wait_t0);
+    }
   }
 
  private:
@@ -216,11 +227,20 @@ class ShardWorkerPool {
     std::uint64_t seen = 0;
     for (;;) {
       {
+        // Workers park here between epochs; the teardown wake
+        // (stopping_) is shutdown, not contention, and is not recorded.
+        const bool traced = trace::enabled();
+        const std::int64_t wait_t0 = traced ? trace::now_ns() : 0;
         std::unique_lock lock(mutex_);
         work_cv_.wait(lock,
                       [&] { return stopping_ || generation_ != seen; });
         if (stopping_) return;
         seen = generation_;
+        lock.unlock();
+        if (traced) {
+          trace::local_sink().barrier_wait(wait_t0,
+                                           trace::now_ns() - wait_t0);
+        }
       }
       run_lane(lane);  // work_ never throws; errors land in engine state
       {
@@ -327,6 +347,8 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
   double epoch_dt = 0.0;  // written before each barrier, read by workers
   const auto run_epoch_in = [&](Shard& shard) {
     try {
+      const bool traced = trace::enabled();
+      const std::int64_t span_t0 = traced ? trace::now_ns() : 0;
       const double dt = epoch_dt;
       const std::uint64_t n_s = shard.hi - shard.lo;
       const std::uint64_t ticks =
@@ -357,6 +379,10 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
         }
       }
       shard.ticks += ticks;
+      if (traced) {
+        trace::local_sink().shard_span(
+            span_t0, trace::now_ns() - span_t0, ticks);
+      }
     } catch (...) {
       shard.error = std::current_exception();
     }
@@ -497,6 +523,10 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
   double epoch_dt = 0.0;
   const auto run_epoch_in = [&](Shard& shard) {
     try {
+      const bool traced = trace::enabled();
+      const std::int64_t span_t0 = traced ? trace::now_ns() : 0;
+      const std::uint64_t ticks_before = shard.ticks;
+      std::uint64_t drained = 0;
       const std::uint64_t n_s = shard.hi - shard.lo;
       const double inv_rate = 1.0 / static_cast<double>(n_s);
       const double t_end = epoch_t0 + epoch_dt;
@@ -514,6 +544,7 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
         if (event_time >= t_end) break;  // remainder handled next epoch
         if (deliver) {
           auto event = shard.deliveries.pop();
+          ++drained;
           const NodeId u = event.payload.to;
           if (blocking) shard.pending[u - shard.lo] = 0;
           // Answers to crashed nodes are dropped (flag still cleared
@@ -543,6 +574,17 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
           ++shard.ticks;
           next_tick += exponential_unit(shard.rng) * inv_rate;
         }
+      }
+      if (traced) {
+        trace::Sink& sink = trace::local_sink();
+        const std::int64_t span_end = trace::now_ns();
+        sink.shard_span(span_t0, span_end - span_t0,
+                        shard.ticks - ticks_before);
+        if (drained > 0) sink.queue_drain(span_end, 0, drained);
+        // Depth at the epoch boundary is a trajectory property (the
+        // queue content is keyed on seed/shards/epoch_length), so the
+        // derived quantiles are deterministic and bench-gateable.
+        sink.queue_depth(span_end, shard.deliveries.size());
       }
     } catch (...) {
       shard.error = std::current_exception();

@@ -122,7 +122,9 @@ TEST(Executor, StealsAcrossWorkersUnderUnbalancedLoad) {
       }
       // Enough work that the queue cannot drain before thieves arrive.
       volatile std::uint64_t sink = 0;
-      for (int spin = 0; spin < 20000; ++spin) sink += spin;
+      for (int spin = 0; spin < 20000; ++spin) {
+        sink = sink + static_cast<std::uint64_t>(spin);
+      }
     });
     graph.depend(leaf, root);
   }

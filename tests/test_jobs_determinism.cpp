@@ -57,6 +57,22 @@ RunOutput run_scaling(const std::vector<const char*>& scheduling_flags) {
   JsonValue& params = record["params"];
   params["jobs_effective"] = 0;
   params["threads"] = 0;
+  // The trace summary documents the schedule (barrier waits, steals),
+  // so like wall clock it differs across worker counts BY DESIGN; same
+  // for the schedule-property trace series. Trajectory-property trace
+  // series (the queue-depth quantiles) are NOT stripped — they must be
+  // bit-identical like every other measured series.
+  record["trace"] = JsonValue::object();
+  const JsonValue& series = *record.find("series");
+  JsonValue kept = JsonValue::array();
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const std::string& name = series.at(i).find("name")->as_string();
+    if (name == "trace_barrier_wait_frac" || name == "trace_steal_count") {
+      continue;
+    }
+    kept.push_back(series.at(i));
+  }
+  record["series"] = std::move(kept);
   out.record = record.dump();
   return out;
 }

@@ -19,36 +19,22 @@
 #include "sim/continuous_engine.hpp"
 #include "sim/engine_select.hpp"
 #include "sim/latency.hpp"
+#include "stat_gates.hpp"
 #include "stats/quantiles.hpp"
 #include "support/assert.hpp"
 
 namespace plurality {
 namespace {
 
-struct Moments {
-  double mean = 0.0;
-  double variance = 0.0;
-  double min = 0.0;
-};
+using Moments = stat_gates::SampleMoments;
 
 Moments empirical_moments(const LatencyModel& model, std::uint64_t draws,
                           std::uint64_t seed) {
   Xoshiro256 rng(seed);
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  double min = std::numeric_limits<double>::infinity();
-  for (std::uint64_t i = 0; i < draws; ++i) {
-    const double x = model.sample(rng);
-    sum += x;
-    sum_sq += x * x;
-    min = std::min(min, x);
-  }
-  const double n = static_cast<double>(draws);
-  Moments m;
-  m.mean = sum / n;
-  m.variance = sum_sq / n - m.mean * m.mean;
-  m.min = min;
-  return m;
+  std::vector<double> xs;
+  xs.reserve(draws);
+  for (std::uint64_t i = 0; i < draws; ++i) xs.push_back(model.sample(rng));
+  return stat_gates::moments(xs);
 }
 
 TEST(LatencySamplers, MatchAnalyticMeanAndVariance) {

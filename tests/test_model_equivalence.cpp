@@ -25,10 +25,15 @@
 #include "sim/latency.hpp"
 #include "sim/sequential_engine.hpp"
 #include "sim/sharded_engine.hpp"
+#include "stat_gates.hpp"
 #include "stats/quantiles.hpp"
 
 namespace plurality {
 namespace {
+
+using stat_gates::kKsGate;
+using stat_gates::ks_statistic;
+using stat_gates::mean_tolerance;
 
 enum class Engine { kSequential, kHeap, kSuperposition, kSharded };
 
@@ -66,35 +71,6 @@ std::vector<double> consensus_times(MakeProto&& make_proto, Engine engine,
   return times;
 }
 
-/// Two-sample Kolmogorov–Smirnov statistic sup |F_a - F_b|. Both ECDFs
-/// are evaluated after consuming *all* occurrences of each distinct
-/// value — engines that quantize times (sharded epochs, sequential
-/// steps) produce exact cross-sample ties, which must not inflate D
-/// (two identical samples have D = 0).
-double ks_statistic(std::vector<double> a, std::vector<double> b) {
-  std::sort(a.begin(), a.end());
-  std::sort(b.begin(), b.end());
-  double d = 0.0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    const double value = std::min(a[i], b[j]);
-    while (i < a.size() && a[i] == value) ++i;
-    while (j < b.size() && b[j] == value) ++j;
-    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
-    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
-    d = std::max(d, std::abs(fa - fb));
-  }
-  return d;
-}
-
-TEST(EngineEquivalence, KsStatisticHandlesTiesAndDisjointSupports) {
-  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 0.0);
-  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 1.0, 2.0}, {1.0, 2.0, 2.0}),
-                   1.0 / 3.0);
-  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 2.0}, {5.0, 6.0}), 1.0);
-}
-
 TEST(ModelEquivalence, TwoChoicesMeanTimesAgree) {
   const std::uint64_t n = 1024;
   const CompleteGraph g(n);
@@ -109,8 +85,7 @@ TEST(ModelEquivalence, TwoChoicesMeanTimesAgree) {
   const Summary cont_summary = summarize(cont);
   // Means agree within the sum of the 95% confidence half-widths plus
   // a small absolute slack.
-  const double tolerance = seq_summary.ci95_halfwidth +
-                           cont_summary.ci95_halfwidth + 1.0;
+  const double tolerance = mean_tolerance(seq_summary, cont_summary);
   EXPECT_NEAR(seq_summary.mean, cont_summary.mean, tolerance);
 }
 
@@ -151,17 +126,17 @@ TEST(EngineEquivalence, HeapSuperpositionShardedAgreeOnE1Runs) {
   const Summary ss = summarize(sup);
   const Summary sd = summarize(shard);
   EXPECT_NEAR(sh.mean, ss.mean,
-              sh.ci95_halfwidth + ss.ci95_halfwidth + 1.0);
+              mean_tolerance(sh, ss));
   EXPECT_NEAR(sh.mean, sd.mean,
-              sh.ci95_halfwidth + sd.ci95_halfwidth + 1.0);
+              mean_tolerance(sh, sd));
   EXPECT_NEAR(ss.mean, sd.mean,
-              ss.ci95_halfwidth + sd.ci95_halfwidth + 1.0);
+              mean_tolerance(ss, sd));
 
   // Distribution check: two-sample KS below the alpha ~ 0.001 critical
   // value for 40-vs-40 samples (~0.44), with a little headroom.
-  EXPECT_LT(ks_statistic(heap, sup), 0.45);
-  EXPECT_LT(ks_statistic(heap, shard), 0.45);
-  EXPECT_LT(ks_statistic(sup, shard), 0.45);
+  EXPECT_LT(ks_statistic(heap, sup), kKsGate);
+  EXPECT_LT(ks_statistic(heap, shard), kKsGate);
+  EXPECT_LT(ks_statistic(sup, shard), kKsGate);
 }
 
 TEST(EngineEquivalence, ShardedOnGraphMatchesSequentialOnGraph) {
@@ -187,8 +162,8 @@ TEST(EngineEquivalence, ShardedOnGraphMatchesSequentialOnGraph) {
   const Summary ss = summarize(seq);
   const Summary sd = summarize(shard);
   EXPECT_NEAR(ss.mean, sd.mean,
-              ss.ci95_halfwidth + sd.ci95_halfwidth + 1.0);
-  EXPECT_LT(ks_statistic(seq, shard), 0.45);
+              mean_tolerance(ss, sd));
+  EXPECT_LT(ks_statistic(seq, shard), kKsGate);
 }
 
 TEST(EngineEquivalence, ShardedQueuedMatchesMessagingUnderExpLatency) {
@@ -230,8 +205,8 @@ TEST(EngineEquivalence, ShardedQueuedMatchesMessagingUnderExpLatency) {
   const Summary sm = summarize(messaging_times);
   const Summary sq = summarize(queued_times);
   EXPECT_NEAR(sm.mean, sq.mean,
-              sm.ci95_halfwidth + sq.ci95_halfwidth + 1.0);
-  EXPECT_LT(ks_statistic(messaging_times, queued_times), 0.45);
+              mean_tolerance(sm, sq));
+  EXPECT_LT(ks_statistic(messaging_times, queued_times), kKsGate);
 }
 
 TEST(EngineEquivalence, ZeroLatencyMessagingMatchesInstantEngines) {
@@ -268,11 +243,11 @@ TEST(EngineEquivalence, ZeroLatencyMessagingMatchesInstantEngines) {
   const Summary ss = summarize(sup);
   const Summary sh = summarize(heap);
   EXPECT_NEAR(sd.mean, ss.mean,
-              sd.ci95_halfwidth + ss.ci95_halfwidth + 1.0);
+              mean_tolerance(sd, ss));
   EXPECT_NEAR(sd.mean, sh.mean,
-              sd.ci95_halfwidth + sh.ci95_halfwidth + 1.0);
-  EXPECT_LT(ks_statistic(delayed_times, sup), 0.45);
-  EXPECT_LT(ks_statistic(delayed_times, heap), 0.45);
+              mean_tolerance(sd, sh));
+  EXPECT_LT(ks_statistic(delayed_times, sup), kKsGate);
+  EXPECT_LT(ks_statistic(delayed_times, heap), kKsGate);
 }
 
 }  // namespace

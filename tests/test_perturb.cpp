@@ -22,6 +22,7 @@
 #include "sim/perturb.hpp"
 #include "sim/sequential_engine.hpp"
 #include "sim/sharded_engine.hpp"
+#include "stat_gates.hpp"
 #include "support/assert.hpp"
 
 namespace plurality {
@@ -433,25 +434,6 @@ TEST(RecoveryHelpers, AgreementAtIsTheLastPointNotAfterT) {
 
 // --- sequential vs sharded distribution gate ------------------------------
 
-/// Two-sample KS distance, tie-aware (both CDFs advance through all
-/// occurrences of a value before the gap is measured).
-double ks_statistic(std::vector<double> a, std::vector<double> b) {
-  std::sort(a.begin(), a.end());
-  std::sort(b.begin(), b.end());
-  double d = 0.0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    const double value = std::min(a[i], b[j]);
-    while (i < a.size() && a[i] == value) ++i;
-    while (j < b.size() && b[j] == value) ++j;
-    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
-    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
-    d = std::max(d, std::abs(fa - fb));
-  }
-  return d;
-}
-
 // Crash-by-global-time on the sequential vs the sharded engine: the
 // same stochastic process (engines differ in RNG consumption and
 // epoch-quantized drains), so the distribution of the
@@ -507,7 +489,8 @@ TEST(PerturbEquivalence, CrashRecoveryDistributionMatchesAcrossEngines) {
   seq_agree /= kReps;
   shard_agree /= kReps;
 
-  EXPECT_LT(ks_statistic(seq_times, shard_times), 0.45);
+  EXPECT_LT(stat_gates::ks_statistic(seq_times, shard_times),
+            stat_gates::kKsGate);
   EXPECT_GT(seq_agree, 0.999);
   EXPECT_GT(shard_agree, 0.999);
 }

@@ -136,11 +136,17 @@ def main():
                              "shifts below this fraction of the baseline "
                              "mean never fail even at high z (default "
                              "0.10)")
-    parser.add_argument("--series-skip", default=r"^ns_per_",
-                        help="regex of series names exempt from the mean "
-                             "gate — wall-time measurements that track "
-                             "the host, not the seeded process (default "
-                             "'^ns_per_')")
+    parser.add_argument(
+        "--series-skip",
+        default=r"^(ns_per_|trace_barrier_wait_frac$|trace_steal_count$)",
+        help="regex of series names exempt from the mean gate — "
+             "wall-time or schedule measurements that track the host "
+             "rather than the seeded process. The trace layer's "
+             "barrier-wait fraction and steal count are schedule "
+             "properties (their presence and value depend on thread "
+             "timing); its queue-depth quantiles are trajectory "
+             "properties and stay gated. (default "
+             "'^(ns_per_|trace_barrier_wait_frac$|trace_steal_count$)')")
     args = parser.parse_args()
 
     baseline = load_records(args.baseline_dir)
