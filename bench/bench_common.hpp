@@ -68,7 +68,17 @@ inline AnyGraph make_topology(const ExperimentContext& ctx, std::uint64_t n,
                                   GraphKind::kComplete) {
   const GraphSpec spec = resolved_graph_spec(ctx, experiment_default);
   ctx.note_effective_graph(graph_kind_name(spec.kind));
-  return make_graph(spec, n, build_rng);
+  AnyGraph graph = make_graph(spec, n, build_rng);
+  // The topology share of bytes_per_node: read the realized size back
+  // (the torus rounds n down) so the ratio matches what was built.
+  const std::uint64_t realized =
+      std::visit([](const auto& g) { return g.num_nodes(); }, graph);
+  if (realized > 0) {
+    ctx.note_topology_bytes_per_node(
+        static_cast<double>(graph_storage_bytes(graph)) /
+        static_cast<double>(realized));
+  }
+  return graph;
 }
 
 /// Builds the topology and runs `fn(g)` on the concrete graph type —
@@ -99,7 +109,7 @@ Assignment place_with(const ExperimentContext& ctx,
       if constexpr (HasCommunities<G>) {
         ctx.note_effective_placement(
             placement_kind_name(PlacementKind::kCommunityAligned));
-        return place_community_aligned(counts, g.communities(),
+        return place_community_aligned(std::move(counts), g.communities(),
                                        placement.fraction, rng);
       } else {
         warn_community_placement_fallback_once();
@@ -110,20 +120,21 @@ Assignment place_with(const ExperimentContext& ctx,
       ctx.note_effective_placement(
           placement_kind_name(PlacementKind::kAdversarialBoundary));
       if constexpr (HasCommunities<G>) {
-        return place_adversarial_boundary(counts, view, g.communities(), rng);
+        return place_adversarial_boundary(std::move(counts), view,
+                                          g.communities(), rng);
       } else {
-        return place_adversarial_boundary(counts, view, {}, rng);
+        return place_adversarial_boundary(std::move(counts), view, {}, rng);
       }
     }
     case PlacementKind::kClusteredBfs: {
       const TopologyView<G> view(g);
       ctx.note_effective_placement(
           placement_kind_name(PlacementKind::kClusteredBfs));
-      return place_clustered_bfs(counts, view, rng);
+      return place_clustered_bfs(std::move(counts), view, rng);
     }
   }
   ctx.note_effective_placement(placement_kind_name(PlacementKind::kUniform));
-  return place_uniform(counts, rng);
+  return place_uniform(std::move(counts), rng);
 }
 
 /// Places an exact count profile onto the nodes of `g` according to

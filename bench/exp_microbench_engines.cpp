@@ -1,13 +1,16 @@
-// M1b/M1c — microbenchmarks. M1b: protocol tick and engine event-loop
+// M1b-M1e — microbenchmarks. M1b: protocol tick and engine event-loop
 // throughput (ns per tick / node-update). M1c: the same protocol driven
 // by every asynchronous engine — sequential, n-timer heap, O(1)
 // superposition, and the sharded engine at several shard counts — so
 // the per-tick cost of the engine machinery itself can be compared
 // head-to-head (ISSUE 2 acceptance: superposition >= 3x over heap at
 // n = 10^6, sharded scaling across threads at n = 10^7; run with
-// --m1c_n=1000000 / 10000000 to reproduce at full scale). Hand-rolled
-// timing (steady_clock, one sample per repetition) on the shared
-// registry/JSON harness.
+// --m1c_n=1000000 / 10000000 to reproduce at full scale). M1e: the
+// LLC-crossing series for the packed-SoA hot path — sharded ns/tick
+// over a geometric ladder of n with bytes/node recorded; run with
+// --m1e_max_n=100000000 for the memory-fit acceptance run.
+// Hand-rolled timing (steady_clock, one sample per repetition) on the
+// shared registry/JSON harness.
 
 #include <chrono>
 
@@ -258,6 +261,76 @@ int run_exp(ExperimentContext& ctx) {
   }
 
   on_graph.print(std::cout, ctx.csv);
+
+  // ---- M1e: LLC-crossing series. The same far-from-consensus Voter
+  // workload on the sharded engine at a geometric ladder of n, with a
+  // *fixed* total tick budget so every sweep point simulates the same
+  // load: once the packed working set (1 byte/node color state plus
+  // live + snapshot shard buffers) outgrows the last-level cache, the
+  // per-tick cost should plateau at the DRAM random-access rate
+  // instead of climbing — the acceptance gate for the billion-node
+  // hot path. The plateau assumes huge-page translation (the slab
+  // layer madvises THP); on hosts that never promote — e.g. a
+  // virtualized CI box in `madvise` THP mode that ignores the advice
+  // — 4 KiB page walks add a visible slope well past the LLC, so
+  // judge flatness on THP-capable hardware. The
+  // resolved bytes/node of the hot state is recorded per sweep point
+  // (and flows into the BENCH record's params.bytes_per_node). Scale
+  // up with --m1e_max_n= (10^8 reproduces the memory-fit acceptance
+  // run); the engine honors --sampling=, --numa=, and --exact-reads
+  // via the shared tuning context.
+  const std::uint64_t me_min_n = ctx.args.get_u64("m1e_min_n", 100000);
+  const std::uint64_t me_max_n = ctx.args.get_u64("m1e_max_n", 3200000);
+  const std::uint64_t me_ticks = ctx.args.get_u64("m1e_iters", 1ull << 21);
+  const auto me_shards =
+      static_cast<unsigned>(ctx.args.get_u64("m1e_shards", 4));
+
+  Table llc("M1e: LLC-crossing ns/tick  (voter, sharded_t" +
+                std::to_string(me_shards) + ", " + std::to_string(me_ticks) +
+                " ticks per rep)",
+            {"n", "ns_tick", "ci95", "bytes_node", "state_mb"});
+
+  for (std::uint64_t me_n = me_min_n; me_n <= me_max_n; me_n *= 4) {
+    const double me_horizon =
+        static_cast<double>(me_ticks) / static_cast<double>(me_n);
+    const CompleteGraph me_graph(me_n);
+    double bytes_node = 0.0;
+    const auto samples = per_rep([&](Xoshiro256& rng) {
+      VoterAsync proto(me_graph, assign_equal(me_n, 64, rng));
+      // Hot-state share: packed colors + the engine's live and
+      // snapshot buffers (complete graph, so no topology share).
+      bytes_node = proto.table().state_bytes_per_node() +
+                   (ctx.tuning.exact_reads
+                        ? 0.0
+                        : 2.0 * static_cast<double>(color_width_bytes(
+                                    proto.table().width())));
+      ctx.note_state_bytes_per_node(bytes_node);
+      const auto start = std::chrono::steady_clock::now();
+      const auto result =
+          run_sharded(proto, rng(), me_shards, me_horizon, NullObserver{},
+                      /*sample_every=*/me_horizon, /*epoch_length=*/0.25,
+                      /*snapshot_reads=*/false, /*perturb=*/nullptr,
+                      ctx.tuning);
+      const auto stop = std::chrono::steady_clock::now();
+      g_sink = result.ticks;
+      return std::chrono::duration<double, std::nano>(stop - start).count() /
+             std::max(static_cast<double>(result.ticks), 1.0);
+    });
+    ctx.record("ns_per_tick_llc",
+               {{"engine", "sharded"}, {"shards", me_shards}, {"n", me_n}},
+               samples);
+    ctx.record("bytes_per_node_llc", {{"n", me_n}},
+               std::vector<double>{bytes_node});
+    const Summary s = summarize(samples);
+    llc.row()
+        .cell(me_n)
+        .cell(s.mean, 2)
+        .cell(s.ci95_halfwidth, 2)
+        .cell(bytes_node, 2)
+        .cell(bytes_node * static_cast<double>(me_n) / 1e6, 1);
+  }
+
+  llc.print(std::cout, ctx.csv);
   return 0;
 }
 
@@ -274,9 +347,14 @@ const ExperimentRegistrar kRegistrar{
     "engines on a *graph* (Voter on a random 8-regular topology "
     "through the flat CSR view): per-tick throughput of the sharded "
     "engine at several shard counts vs the sequential graph driver. "
-    "Records `ns_per_op`, `ns_per_tick_engine`, and "
-    "`ns_per_tick_graph`. Overrides: --n=, --iters=, --m1c_n=, "
-    "--m1c_iters=, --m1d_n=, --m1d_iters=, --shards=.",
+    "M1e: the LLC-crossing series — sharded ns/tick over a geometric "
+    "ladder of n at a fixed tick budget, with the resolved packed "
+    "bytes/node per sweep point; flat past the LLC is the billion-node "
+    "hot-path acceptance gate. Records `ns_per_op`, "
+    "`ns_per_tick_engine`, `ns_per_tick_graph`, `ns_per_tick_llc`, and "
+    "`bytes_per_node_llc`. Overrides: --n=, --iters=, --m1c_n=, "
+    "--m1c_iters=, --m1d_n=, --m1d_iters=, --shards=, --m1e_min_n=, "
+    "--m1e_max_n=, --m1e_iters=, --m1e_shards=.",
     /*default_reps=*/5, run_exp};
 
 }  // namespace

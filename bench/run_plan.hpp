@@ -37,6 +37,7 @@
 #include <iostream>
 #include <string>
 #include <utility>
+#include <variant>
 
 #include "experiment/registry.hpp"
 #include "graph/csr.hpp"
@@ -97,6 +98,7 @@ struct RunPlan {
   LatencySpec latency;      ///< resolved --latency*
   PerturbSpec perturb;      ///< resolved --perturb* (or experiment default)
   unsigned shards = 1;      ///< resolved --shards=
+  EngineTuning tuning;      ///< resolved --sampling/--numa/--exact-reads
 };
 
 /// Resolves the plan for one experiment body: --engine= overrides
@@ -120,7 +122,23 @@ inline RunPlan make_plan(const ExperimentContext& ctx,
   plan.perturb = ctx.perturb;
   if (!ctx.args.has_flag("perturb")) plan.perturb.kind = default_perturb;
   plan.shards = ctx.shards;
+  plan.tuning = ctx.tuning;
   return plan;
+}
+
+/// Attributes the per-node cost of the opinion state a run is about to
+/// carry: the table's packed colors + support counters, plus the
+/// sharded engine's live/snapshot copies (two more packed arrays) when
+/// that engine will drive the protocol. Called by both dispatches below
+/// so every engine-driven record can report bytes_per_node.
+inline void note_state_footprint(const RunPlan& plan,
+                                 const OpinionTable& table,
+                                 bool sharded_engine) {
+  double bytes = table.state_bytes_per_node();
+  if (sharded_engine && !plan.tuning.exact_reads) {
+    bytes += 2.0 * static_cast<double>(color_width_bytes(table.width()));
+  }
+  plan.ctx->note_state_bytes_per_node(bytes);
 }
 
 /// Mints the plan's Perturber for one run and attributes the kind into
@@ -149,7 +167,17 @@ inline Perturber make_perturber(const RunPlan& plan, std::uint64_t n,
 inline AnyGraph topology(const RunPlan& plan, std::uint64_t n,
                          Xoshiro256& build_rng) {
   plan.ctx->note_effective_graph(graph_kind_name(plan.graph.kind));
-  return make_graph(plan.graph, n, build_rng);
+  AnyGraph graph = make_graph(plan.graph, n, build_rng);
+  // The topology share of bytes_per_node, at the realized size (the
+  // torus rounds n down to a square).
+  const std::uint64_t realized =
+      std::visit([](const auto& g) { return g.num_nodes(); }, graph);
+  if (realized > 0) {
+    plan.ctx->note_topology_bytes_per_node(
+        static_cast<double>(graph_storage_bytes(graph)) /
+        static_cast<double>(realized));
+  }
+  return graph;
 }
 
 /// Runs a delayed-shardable protocol under an explicit latency model on
@@ -170,9 +198,10 @@ AsyncRunResult run_queued(const RunPlan& plan, P& proto,
                           Perturber* perturb = nullptr) {
   plan.ctx->note_effective_engine(engine_kind_name(EngineKind::kSharded));
   plan.ctx->note_effective_latency(model.name());
+  note_state_footprint(plan, proto.table(), /*sharded_engine=*/true);
   return run_sharded_queued(proto, model, discipline, rng(), plan.shards,
                             max_time, std::forward<Obs>(obs), sample_every,
-                            /*epoch_length=*/0.25, perturb);
+                            /*epoch_length=*/0.25, perturb, plan.tuning);
 }
 
 /// THE run dispatch for plain (non-messaging) async protocols: engine ×
@@ -199,13 +228,15 @@ AsyncRunResult run(const RunPlan& plan, P& proto, Xoshiro256& rng,
   const EngineKind effective = effective_engine_kind<P>(plan.engine);
   if (effective != plan.engine) warn_sharded_fallback_once();
   plan.ctx->note_effective_engine(engine_kind_name(effective));
+  note_state_footprint(plan, proto.table(),
+                       effective == EngineKind::kSharded);
   const std::uint64_t shard_seed =
       effective == EngineKind::kSharded ? rng() : 0;
   // Dispatch on `effective`, the same value that was just recorded, so
   // the JSON label and the engine that runs can never diverge.
   return run_async_engine(effective, proto, rng, shard_seed, plan.shards,
                           max_time, std::forward<Obs>(obs), sample_every,
-                          perturb);
+                          perturb, plan.tuning);
 }
 
 /// The run dispatch for *messaging* protocols (core/delayed.hpp) under

@@ -99,7 +99,7 @@ class OneExtraBitSync {
  private:
   void two_choices_round(Xoshiro256& rng) {
     const auto n = static_cast<NodeId>(table_.num_nodes());
-    prev_colors_.assign(table_.colors().begin(), table_.colors().end());
+    table_.copy_colors_into(prev_colors_);
     for (NodeId u = 0; u < n; ++u) {
       const NodeId v = graph_->sample_neighbor(u, rng);
       const NodeId w = graph_->sample_neighbor(u, rng);
@@ -114,7 +114,7 @@ class OneExtraBitSync {
 
   void bit_propagation_round(Xoshiro256& rng) {
     const auto n = static_cast<NodeId>(table_.num_nodes());
-    prev_colors_.assign(table_.colors().begin(), table_.colors().end());
+    table_.copy_colors_into(prev_colors_);
     prev_bits_ = bit_;
     for (NodeId u = 0; u < n; ++u) {
       if (prev_bits_[u]) continue;

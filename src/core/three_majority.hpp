@@ -41,7 +41,7 @@ class ThreeMajoritySync {
 
   void execute_round(Xoshiro256& rng) {
     const auto n = static_cast<NodeId>(table_.num_nodes());
-    prev_.assign(table_.colors().begin(), table_.colors().end());
+    table_.copy_colors_into(prev_);
     for (NodeId u = 0; u < n; ++u) {
       const ColorId a = prev_[graph_->sample_neighbor(u, rng)];
       const ColorId b = prev_[graph_->sample_neighbor(u, rng)];

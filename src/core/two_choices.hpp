@@ -32,7 +32,7 @@ class TwoChoicesSync {
 
   void execute_round(Xoshiro256& rng) {
     const auto n = static_cast<NodeId>(table_.num_nodes());
-    prev_.assign(table_.colors().begin(), table_.colors().end());
+    table_.copy_colors_into(prev_);
     for (NodeId u = 0; u < n; ++u) {
       const NodeId v = graph_->sample_neighbor(u, rng);
       const NodeId w = graph_->sample_neighbor(u, rng);

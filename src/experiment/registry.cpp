@@ -4,6 +4,10 @@
 #include <chrono>
 #include <cstdlib>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "stats/welford.hpp"
 #include "support/assert.hpp"
 
@@ -22,7 +26,26 @@ namespace {
 bool is_plumbing_key(const std::string& key) {
   return key == "exp" || key == "all" || key == "list" || key == "json" ||
          key == "out-dir" || key == "no-json" || key == "csv" ||
-         key == "jobs" || key == "trace";
+         key == "jobs" || key == "trace" || key == "numa";
+}
+
+/// The process's peak resident set in bytes (Linux ru_maxrss is KiB,
+/// macOS is bytes); 0 where getrusage is unavailable. A schedule/host
+/// property like wall_clock_seconds — recorded in every BENCH record,
+/// stripped by the determinism tests and skipped by bench diffing.
+std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+  }
+#elif defined(__unix__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+  }
+#endif
+  return 0;
 }
 
 /// Raw CLI values are strings; type them in the record (bare flag ->
@@ -215,6 +238,23 @@ JsonValue ExperimentRegistry::run_to_record(const Experiment& experiment,
   // clock recorded at --jobs=64 must be distinguishable from one
   // recorded serially.
   params["jobs_effective"] = ctx.jobs;
+  // The resolved --numa= mode, in *every* record, for the same reason:
+  // placement is trajectory-neutral plumbing, but a wall clock measured
+  // under first-touch/bind placement must be distinguishable from one
+  // measured without it.
+  params["numa_effective"] = numa_mode_name(ctx.tuning.numa);
+  // The per-node memory footprint of the largest run (resolved color
+  // width + support counters + engine copies + CSR share), when any run
+  // noted its state: deterministic for a fixed invocation, and the
+  // acceptance handle for the packed-width claim (a 1e8-node voter run
+  // must report bytes_per_node <= 6).
+  if (const double bpn = ctx.bytes_per_node(); bpn > 0.0) {
+    params["bytes_per_node"] = bpn;
+  }
+  // Peak RSS, in *every* record: the observed counterpart of
+  // bytes_per_node. A host/schedule property like wall_clock_seconds —
+  // stripped by the determinism tests, never diffed.
+  params["peak_rss_bytes"] = peak_rss_bytes();
   // The latency models that actually drove runs (mirroring
   // engine_effective): most experiments ignore --latency, and a record
   // claiming a model its samples never used would misattribute them.

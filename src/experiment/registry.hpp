@@ -141,6 +141,23 @@ class ExperimentContext {
     // counters are cheap enough to leave on, and every BENCH record
     // carries the contention summary unless tracing is explicitly off.
     trace_spec = trace::parse_trace_spec(args.get_string("trace", "summary"));
+    // Resolve the engine-tuning knobs on the main thread (same
+    // loud-failure policy). --sampling= selects scalar per-tick draws
+    // (the bit-stable default) or the batched block kernels;
+    // --exact-reads switches the sharded engine to its
+    // distribution-exact two-phase schedule; --numa= is trajectory-
+    // neutral placement plumbing (recorded as numa_effective, never
+    // echoed into params — like --jobs=).
+    tuning.sampling =
+        parse_sampling_mode(args.get_string("sampling", "scalar"));
+    tuning.numa = parse_numa_mode(args.get_string("numa", "off"));
+    tuning.exact_reads = args.has_flag("exact-reads");
+    if (tuning.exact_reads && tuning.sampling == SamplingMode::kBatch) {
+      throw ContractViolation(
+          "--exact-reads cannot be combined with --sampling=batch: the "
+          "exact schedule replays ticks serially and consumes no batched "
+          "node draws");
+    }
   }
 
   Args args;
@@ -160,6 +177,7 @@ class ExperimentContext {
                             ///< --perturb-budget/--perturb-start/
                             ///< --perturb-interval/--perturb-target
   trace::TraceSpec trace_spec;  ///< resolved --trace= (off|summary|FILE)
+  EngineTuning tuning;  ///< resolved --sampling/--numa/--exact-reads
 
   /// Independent seed stream for one sweep point of the experiment.
   SeedSequence seeds_for(std::uint64_t sweep_point) const {
@@ -284,6 +302,33 @@ class ExperimentContext {
     return noted_params_;
   }
 
+  /// Called by the bench harness with the per-node byte cost of one
+  /// run's resident *opinion state* — packed colors + support counters
+  /// + the sharded engine's live/snapshot copies (bench::run computes
+  /// it from the table's resolved width). The maximum across runs is
+  /// combined with the topology share into params.bytes_per_node, the
+  /// memory-footprint half of the M1e LLC-crossing claim. Thread-safe
+  /// (repetition bodies run on workers).
+  void note_state_bytes_per_node(double bytes) const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    state_bytes_per_node_ = std::max(state_bytes_per_node_, bytes);
+  }
+
+  /// Same for the topology share (CSR offsets + edges per node; the
+  /// implicit clique costs zero). Noted where graphs are built
+  /// (bench_common::with_topology and the factory-driven sweeps).
+  void note_topology_bytes_per_node(double bytes) const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    topology_bytes_per_node_ = std::max(topology_bytes_per_node_, bytes);
+  }
+
+  /// The combined per-node footprint of the largest run (0 when no run
+  /// noted its state — e.g. unit-style experiments with no engine).
+  double bytes_per_node() const {
+    const std::lock_guard<std::mutex> lock(engines_mutex_);
+    return state_bytes_per_node_ + topology_bytes_per_node_;
+  }
+
  private:
   JsonValue series_ = JsonValue::array();
   mutable std::mutex engines_mutex_;
@@ -293,6 +338,8 @@ class ExperimentContext {
   mutable std::set<std::string> graphs_used_;
   mutable std::set<std::string> perturbs_used_;
   mutable std::map<std::string, JsonValue> noted_params_;
+  mutable double state_bytes_per_node_ = 0.0;
+  mutable double topology_bytes_per_node_ = 0.0;
 };
 
 /// A registered experiment.

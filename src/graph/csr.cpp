@@ -47,4 +47,28 @@ CsrTopology make_csr_view(const AnyGraph& graph) {
       graph);
 }
 
+std::size_t graph_storage_bytes(const AnyGraph& graph) {
+  return std::visit(
+      [](const auto& g) -> std::size_t {
+        using G = std::decay_t<decltype(g)>;
+        if constexpr (std::is_same_v<G, CompleteGraph>) {
+          return 0;
+        } else if constexpr (std::is_same_v<G, RingGraph> ||
+                             std::is_same_v<G, TorusGraph>) {
+          // Closed-form rows: what make_csr_view would materialize
+          // (degree d per node plus the offset column), whether or not
+          // a view was actually built — the resident cost of running
+          // these families through the flat view.
+          const std::uint64_t n = g.num_nodes();
+          return (n + 1) * sizeof(std::uint64_t) +
+                 n * g.degree(0) * sizeof(NodeId);
+        } else {
+          const AdjacencyList& adjacency = g.adjacency();
+          return adjacency.row_offsets().size() * sizeof(std::uint64_t) +
+                 adjacency.flat_edges().size() * sizeof(NodeId);
+        }
+      },
+      graph);
+}
+
 }  // namespace plurality

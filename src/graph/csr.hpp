@@ -117,6 +117,14 @@ class CsrTopology {
     return edges_.subspan(offsets_[u], offsets_[u + 1] - offsets_[u]);
   }
 
+  /// The bytes of CSR structure behind this view — offsets + edge
+  /// entries whether borrowed or owned, 0 for the implicit clique.
+  /// Feeds the bytes_per_node accounting in every BENCH record.
+  std::size_t storage_bytes() const noexcept {
+    return offsets_.size() * sizeof(std::uint64_t) +
+           edges_.size() * sizeof(NodeId);
+  }
+
  private:
   CsrTopology() = default;
 
@@ -135,5 +143,11 @@ static_assert(GraphTopology<CsrTopology>);
 /// AnyGraph must outlive the view), materializes ring/torus rows, and
 /// keeps the complete graph implicit.
 CsrTopology make_csr_view(const AnyGraph& graph);
+
+/// The bytes of topology structure a factory-built graph holds: 0 for
+/// the implicit complete graph, CSR offsets + edges for the
+/// adjacency-backed and materialized families. The record-level
+/// counterpart of CsrTopology::storage_bytes for graphs used directly.
+std::size_t graph_storage_bytes(const AnyGraph& graph);
 
 }  // namespace plurality

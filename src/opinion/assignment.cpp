@@ -48,10 +48,9 @@ std::int64_t Assignment::bias() const {
   return static_cast<std::int64_t>(first) - static_cast<std::int64_t>(second);
 }
 
-Assignment assign_exact(const std::vector<std::uint64_t>& counts,
-                        Xoshiro256& rng) {
+Assignment assign_exact(std::vector<std::uint64_t> counts, Xoshiro256& rng) {
   PC_EXPECTS(!counts.empty());
-  return materialize(counts, rng);
+  return materialize(std::move(counts), rng);
 }
 
 std::vector<std::uint64_t> counts_equal(std::uint64_t n, ColorId k) {

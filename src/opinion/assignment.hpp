@@ -28,9 +28,10 @@ struct Assignment {
 };
 
 /// Exact counts, randomly shuffled over nodes. Requires counts non-empty
-/// and a positive total.
-Assignment assign_exact(const std::vector<std::uint64_t>& counts,
-                        Xoshiro256& rng);
+/// and a positive total. Takes counts by value and moves them into the
+/// Assignment — pass std::move(counts) when the profile is no longer
+/// needed to avoid copying a k-sized vector per repetition.
+Assignment assign_exact(std::vector<std::uint64_t> counts, Xoshiro256& rng);
 
 /// Count-profile builders: the deterministic support vectors behind the
 /// assign_* generators, exposed separately so the placement layer

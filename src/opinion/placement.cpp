@@ -68,13 +68,12 @@ void PlacementSpec::validate() const {
   }
 }
 
-Assignment place_uniform(const std::vector<std::uint64_t>& counts,
-                         Xoshiro256& rng) {
-  return assign_exact(counts, rng);
+Assignment place_uniform(std::vector<std::uint64_t> counts, Xoshiro256& rng) {
+  return assign_exact(std::move(counts), rng);
 }
 
 Assignment place_community_aligned(
-    const std::vector<std::uint64_t>& counts,
+    std::vector<std::uint64_t> counts,
     const std::vector<std::vector<NodeId>>& communities, double fraction,
     Xoshiro256& rng) {
   PC_EXPECTS(!counts.empty());
@@ -114,11 +113,11 @@ Assignment place_community_aligned(
     for (const NodeId u : communities[b]) colors[u] = pool[next++];
   }
   PC_ASSERT(next == pool.size());
-  return finalize(std::move(colors), counts);
+  return finalize(std::move(colors), std::move(counts));
 }
 
 Assignment place_adversarial_boundary(
-    const std::vector<std::uint64_t>& counts, const NeighborView& view,
+    std::vector<std::uint64_t> counts, const NeighborView& view,
     const std::vector<std::vector<NodeId>>& communities, Xoshiro256& rng) {
   PC_EXPECTS(!counts.empty());
   const std::uint64_t n = view.num_nodes();
@@ -170,10 +169,10 @@ Assignment place_adversarial_boundary(
   for (ColorId c = 1; c < counts.size(); ++c) {
     for (std::uint64_t i = 0; i < counts[c]; ++i) colors[order[pos++]] = c;
   }
-  return finalize(std::move(colors), counts);
+  return finalize(std::move(colors), std::move(counts));
 }
 
-Assignment place_clustered_bfs(const std::vector<std::uint64_t>& counts,
+Assignment place_clustered_bfs(std::vector<std::uint64_t> counts,
                                const NeighborView& view, Xoshiro256& rng) {
   PC_EXPECTS(!counts.empty());
   const std::uint64_t n = view.num_nodes();
@@ -227,7 +226,7 @@ Assignment place_clustered_bfs(const std::vector<std::uint64_t>& counts,
       }
     }
   }
-  return finalize(std::move(colors), counts);
+  return finalize(std::move(colors), std::move(counts));
 }
 
 }  // namespace plurality

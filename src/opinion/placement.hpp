@@ -126,9 +126,11 @@ struct PlacementSpec {
 };
 
 /// Exact counts, uniformly shuffled over nodes — byte-identical to the
-/// historical assign_* behavior (same Fisher–Yates draws).
-Assignment place_uniform(const std::vector<std::uint64_t>& counts,
-                         Xoshiro256& rng);
+/// historical assign_* behavior (same Fisher–Yates draws). All four
+/// builders take the count profile by value and move it through to the
+/// Assignment (one construction, no copies down the chain); pass
+/// std::move(counts) when the profile is no longer needed.
+Assignment place_uniform(std::vector<std::uint64_t> counts, Xoshiro256& rng);
 
 /// Concentrates the plurality color inside one community: at least
 /// ceil(fraction * c1) color-0 nodes land in the largest block (capped
@@ -136,7 +138,7 @@ Assignment place_uniform(const std::vector<std::uint64_t>& counts,
 /// uniformly from the remaining color pool. Requires a non-empty
 /// partition covering exactly sum(counts) nodes and fraction in (0, 1].
 Assignment place_community_aligned(
-    const std::vector<std::uint64_t>& counts,
+    std::vector<std::uint64_t> counts,
     const std::vector<std::vector<NodeId>>& communities, double fraction,
     Xoshiro256& rng);
 
@@ -148,7 +150,7 @@ Assignment place_community_aligned(
 /// everywhere and the ranking degenerates to (low degree, random).
 /// Requires sum(counts) == view.num_nodes().
 Assignment place_adversarial_boundary(
-    const std::vector<std::uint64_t>& counts, const NeighborView& view,
+    std::vector<std::uint64_t> counts, const NeighborView& view,
     const std::vector<std::vector<NodeId>>& communities, Xoshiro256& rng);
 
 /// Grows one BFS ball per color (colors in descending count order, so
@@ -157,7 +159,7 @@ Assignment place_adversarial_boundary(
 /// expansion through still-unclaimed nodes from a random unclaimed
 /// seed, re-seeding when a frontier exhausts (disconnected remainder).
 /// Requires sum(counts) == view.num_nodes().
-Assignment place_clustered_bfs(const std::vector<std::uint64_t>& counts,
+Assignment place_clustered_bfs(std::vector<std::uint64_t> counts,
                                const NeighborView& view, Xoshiro256& rng);
 
 }  // namespace plurality

@@ -2,15 +2,19 @@
 
 namespace plurality {
 
-OpinionTable::OpinionTable(std::vector<ColorId> colors, ColorId num_colors)
-    : colors_(std::move(colors)), num_colors_(num_colors) {
+OpinionTable::OpinionTable(std::vector<ColorId> colors, ColorId num_colors,
+                           ColorWidth width)
+    : num_colors_(num_colors) {
   PC_EXPECTS(num_colors_ >= 1);
-  PC_EXPECTS(!colors_.empty());
+  PC_EXPECTS(!colors.empty());
+  PC_EXPECTS(color_width_bytes(width) >=
+             color_width_bytes(color_width_for(num_colors_)));
   support_.assign(num_colors_, 0);
-  for (const ColorId c : colors_) {
+  for (const ColorId c : colors) {
     PC_EXPECTS(c < num_colors_);
     ++support_[c];
   }
+  packed_ = PackedColors(colors, width);
   for (const std::uint64_t s : support_) {
     if (s > 0) ++surviving_;
     if (s > max_support_) max_support_ = s;
@@ -19,14 +23,16 @@ OpinionTable::OpinionTable(std::vector<ColorId> colors, ColorId num_colors)
 }
 
 void OpinionTable::merge_shard_deltas(std::span<const NodeId> changed,
-                                      std::span<const ColorId> live,
+                                      const PackedColors& live,
                                       std::span<const std::int64_t> delta) {
-  PC_EXPECTS(live.size() == colors_.size());
+  PC_EXPECTS(live.size() == packed_.size());
+  PC_EXPECTS(live.width() == packed_.width());
   PC_EXPECTS(delta.size() == support_.size());
   for (const NodeId u : changed) {
-    PC_EXPECTS(u < colors_.size());
-    PC_EXPECTS(live[u] < num_colors_);
-    colors_[u] = live[u];
+    PC_EXPECTS(u < packed_.size());
+    const ColorId c = live.get(u);
+    PC_EXPECTS(c < num_colors_);
+    packed_.set(u, c);
   }
   std::int64_t total = 0;
   for (ColorId c = 0; c < num_colors_; ++c) {
@@ -47,7 +53,7 @@ void OpinionTable::merge_shard_deltas(std::span<const NodeId> changed,
 
 ColorId OpinionTable::consensus_color() const {
   PC_EXPECTS(has_consensus());
-  return colors_[0];
+  return packed_.get(0);
 }
 
 ColorId OpinionTable::plurality_color() const {

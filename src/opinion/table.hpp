@@ -5,12 +5,20 @@
 /// bookkeeping (per-color support, number of surviving colors, running
 /// maximum support). Engines poll has_consensus() every step, so those
 /// aggregates must never require a scan.
+///
+/// Storage is the packed SoA backend (opinion/packed.hpp): the per-node
+/// color array is u8/u16/u32, the narrowest width that holds
+/// num_colors - 1, selected at construction (or forced, for the width
+/// equivalence tests). The color()/set_color() API is unchanged — width
+/// never touches the RNG stream, so trajectories are bit-identical
+/// across widths for a fixed seed.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "opinion/packed.hpp"
 #include "support/assert.hpp"
 
 namespace plurality {
@@ -19,24 +27,33 @@ class OpinionTable {
  public:
   /// Takes ownership of the initial assignment. `num_colors` is the size
   /// of the color universe; every entry of `colors` must be < num_colors.
-  OpinionTable(std::vector<ColorId> colors, ColorId num_colors);
+  /// The packed width is the narrowest that holds num_colors - 1.
+  OpinionTable(std::vector<ColorId> colors, ColorId num_colors)
+      : OpinionTable(std::move(colors), num_colors,
+                     color_width_for(num_colors)) {}
 
-  std::uint64_t num_nodes() const noexcept { return colors_.size(); }
+  /// Forced-width form (width equivalence tests and the packed unit
+  /// tests); `width` must hold num_colors - 1.
+  OpinionTable(std::vector<ColorId> colors, ColorId num_colors,
+               ColorWidth width);
+
+  std::uint64_t num_nodes() const noexcept { return packed_.size(); }
   ColorId num_colors() const noexcept { return num_colors_; }
+  ColorWidth width() const noexcept { return packed_.width(); }
 
   ColorId color(NodeId u) const {
-    PC_EXPECTS(u < colors_.size());
-    return colors_[u];
+    PC_EXPECTS(u < packed_.size());
+    return packed_.get(u);
   }
 
   /// Recolors node u, updating supports, survivor count and max support
   /// in O(1).
   void set_color(NodeId u, ColorId c) {
-    PC_EXPECTS(u < colors_.size());
+    PC_EXPECTS(u < packed_.size());
     PC_EXPECTS(c < num_colors_);
-    const ColorId old = colors_[u];
+    const ColorId old = packed_.get(u);
     if (old == c) return;
-    colors_[u] = c;
+    packed_.set(u, c);
     if (--support_[old] == 0) --surviving_;
     if (support_[c]++ == 0) ++surviving_;
     if (support_[c] > max_support_) max_support_ = support_[c];
@@ -47,13 +64,14 @@ class OpinionTable {
 
   /// Bulk merge for the sharded engine: `changed` lists the nodes a
   /// shard recolored during an epoch (duplicates allowed), `live` is the
-  /// full n-entry color array holding their final colors, and `delta` is
-  /// the shard's per-color net support change over the epoch. Updates
-  /// colors, supports, survivor count and max support in
-  /// O(|changed| + num_colors). Requires the deltas to sum to zero and
-  /// to keep every support non-negative.
+  /// engine's full n-entry packed color array (same width as the table)
+  /// holding their final colors, and `delta` is the shard's per-color
+  /// net support change over the epoch. Updates colors, supports,
+  /// survivor count and max support in O(|changed| + num_colors).
+  /// Requires the deltas to sum to zero and to keep every support
+  /// non-negative.
   void merge_shard_deltas(std::span<const NodeId> changed,
-                          std::span<const ColorId> live,
+                          const PackedColors& live,
                           std::span<const std::int64_t> delta);
 
   std::uint64_t support(ColorId c) const {
@@ -78,11 +96,29 @@ class OpinionTable {
     return support_;
   }
 
-  /// Colors of all nodes (index = node).
-  std::span<const ColorId> colors() const noexcept { return colors_; }
+  /// The packed per-node color array (index = node) — the engines'
+  /// bulk-copy source for live/snapshot buffers.
+  const PackedColors& packed_colors() const noexcept { return packed_; }
+
+  /// Widens every node's color into `out` (resized to n): the
+  /// previous-round buffer of the synchronous protocols and the test
+  /// helpers' view. O(n) — never call per tick.
+  void copy_colors_into(std::vector<ColorId>& out) const {
+    packed_.unpack_into(out);
+  }
+
+  /// Bytes of hot state per node held by the table itself (packed color
+  /// array + support counters); the engines add their own buffers on
+  /// top (see bench::run's bytes_per_node attribution).
+  double state_bytes_per_node() const noexcept {
+    const double n = static_cast<double>(packed_.size());
+    return (static_cast<double>(packed_.storage_bytes()) +
+            static_cast<double>(support_.size() * sizeof(std::uint64_t))) /
+           n;
+  }
 
  private:
-  std::vector<ColorId> colors_;
+  PackedColors packed_;
   std::vector<std::uint64_t> support_;
   ColorId num_colors_;
   ColorId surviving_ = 0;

@@ -1,0 +1,181 @@
+#pragma once
+
+/// \file batch.hpp
+/// SIMD-friendly batch sampling on top of xoshiro256++. The scalar
+/// generator's data dependency (each next() consumes the previous
+/// state) caps it at one word per ~4 cycles; Xoshiro256Block runs
+/// kLanes independent xoshiro256++ streams in lockstep with the state
+/// stored lane-major (SoA), so the compiler vectorizes the refill loop
+/// across lanes and raw words stream out of one aligned buffer.
+///
+/// Xoshiro256Block satisfies BitGenerator64, so every transform in
+/// rng/distributions.hpp (Lemire uniform_below, exponential_unit,
+/// poisson, ...) runs on it unchanged — the fill_* kernels below are
+/// exactly those scalar transforms over the block-refilled word stream.
+/// That makes batch draws *distribution-identical* to scalar draws by
+/// construction (same transforms, same-quality words), but NOT
+/// bit-identical for a given seed: the block interleaves kLanes
+/// SplitMix64-expanded streams where the scalar path consumes one.
+/// Engines therefore only use the block behind the opt-in
+/// --sampling=batch knob, and the equivalence is pinned statistically
+/// (KS/moment gates in tests/test_batch_rng.cpp).
+///
+/// Stream independence: lane l is seeded like SeedSequence::stream(l)
+/// seeds shard streams — SplitMix64 expansion of a distinct 64-bit
+/// lane seed — so the lanes are as independent as the engine's
+/// per-shard streams.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
+#include "support/assert.hpp"
+
+namespace plurality {
+
+/// How engines draw their per-tick randomness: one scalar draw per tick
+/// (the historical, bit-stable default) or block-refilled batches.
+enum class SamplingMode : std::uint8_t {
+  kScalar,  ///< scalar per-tick draws; bit-identical to every baseline
+  kBatch,   ///< Xoshiro256Block kernels; statistically equivalent
+};
+
+inline const char* sampling_mode_name(SamplingMode mode) noexcept {
+  switch (mode) {
+    case SamplingMode::kScalar: return "scalar";
+    case SamplingMode::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+/// Parses a `--sampling=` value; throws ContractViolation (naming the
+/// flag) on anything unrecognized.
+inline SamplingMode parse_sampling_mode(const std::string& name) {
+  if (name == "scalar") return SamplingMode::kScalar;
+  if (name == "batch") return SamplingMode::kBatch;
+  throw ContractViolation("--sampling=" + name +
+                          " is not one of scalar|batch");
+}
+
+/// kLanes interleaved xoshiro256++ streams advanced in lockstep, state
+/// lane-major so the per-word loop in refill() vectorizes. Serves raw
+/// words through a 64-byte-aligned buffer; satisfies BitGenerator64 so
+/// the scalar distribution transforms run on it unchanged.
+class Xoshiro256Block {
+ public:
+  using result_type = std::uint64_t;
+
+  static constexpr std::size_t kLanes = 8;
+  static constexpr std::size_t kBuffer = 256;  // words per refill
+
+  /// Seeds lane l by SplitMix64-expanding seed ^ (phi64 * (l + 1)) —
+  /// the SeedSequence::stream derivation, so lanes relate to each other
+  /// exactly like the sharded engine's per-shard streams.
+  explicit Xoshiro256Block(std::uint64_t seed) noexcept {
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      SplitMix64 sm(seed ^ (kLaneSalt * (static_cast<std::uint64_t>(lane) +
+                                         1)));
+      for (std::size_t word = 0; word < 4; ++word) {
+        state_[word][lane] = sm.next();
+      }
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    if (pos_ == kBuffer) refill();
+    return buffer_[pos_++];
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Fills `out` with raw uniform 64-bit words.
+  void fill_raw(std::span<std::uint64_t> out) noexcept {
+    for (auto& word : out) word = next();
+  }
+
+  /// Fills `out` with unbiased uniform draws in [0, bound): the node
+  /// batch of one sharded epoch or superposition block. Same
+  /// multiply-shift + rejection transform as the scalar uniform_below.
+  void fill_uniform_below(std::uint64_t bound, std::span<NodeId> out) {
+    PC_EXPECTS(bound > 0);
+    for (auto& draw : out) {
+      draw = static_cast<NodeId>(uniform_below(*this, bound));
+    }
+  }
+
+  /// Fills the (a, b) arrays with independent uniform draws in
+  /// [0, bound) — the two-neighbor batch of a two-choices tick block.
+  /// a[i] is drawn before b[i], matching the scalar propose() order.
+  void fill_uniform_pairs(std::uint64_t bound, std::span<NodeId> a,
+                          std::span<NodeId> b) {
+    PC_EXPECTS(bound > 0);
+    PC_EXPECTS(a.size() == b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<NodeId>(uniform_below(*this, bound));
+      b[i] = static_cast<NodeId>(uniform_below(*this, bound));
+    }
+  }
+
+  /// Fills `out` with Exp(1) draws (engines scale by 1/rate outside the
+  /// loop): the tick-gap block of the batched superposition engine.
+  void fill_exponential_unit(std::span<double> out) noexcept {
+    for (auto& draw : out) draw = exponential_unit(*this);
+  }
+
+  /// Fills `out` with Poisson(mean) draws: per-epoch tick counts for a
+  /// block of shards or sub-intervals.
+  void fill_poisson(double mean, std::span<std::uint64_t> out) {
+    PC_EXPECTS(mean >= 0.0);
+    for (auto& draw : out) draw = poisson(*this, mean);
+  }
+
+ private:
+  // SeedSequence's stream salt (rng/seed.hpp): keep the two derivations
+  // identical so "lane k of block(seed)" and "stream k of seed" are the
+  // same family of SplitMix64 expansions.
+  static constexpr std::uint64_t kLaneSalt = 0xD1B54A32D192ED03ULL;
+
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// One lockstep advance of all lanes per output word: the inner lane
+  /// loop has no cross-lane dependency, so it vectorizes over the
+  /// lane-major state (SSE2: 2 lanes/op; AVX2: 4).
+  void refill() noexcept {
+    for (std::size_t base = 0; base < kBuffer; base += kLanes) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const std::uint64_t s0 = state_[0][lane];
+        const std::uint64_t s1 = state_[1][lane];
+        const std::uint64_t s3 = state_[3][lane];
+        buffer_[base + lane] = rotl(s0 + s3, 23) + s0;
+        const std::uint64_t t = s1 << 17;
+        state_[2][lane] ^= s0;
+        state_[3][lane] ^= s1;
+        state_[1][lane] ^= state_[2][lane];
+        state_[0][lane] ^= state_[3][lane];
+        state_[2][lane] ^= t;
+        state_[3][lane] = rotl(state_[3][lane], 45);
+      }
+    }
+    pos_ = 0;
+  }
+
+  alignas(64) std::uint64_t state_[4][kLanes];
+  alignas(64) std::uint64_t buffer_[kBuffer];
+  std::size_t pos_ = kBuffer;
+};
+
+static_assert(BitGenerator64<Xoshiro256Block>);
+
+}  // namespace plurality

@@ -49,6 +49,7 @@
 #include <utility>
 #include <vector>
 
+#include "rng/batch.hpp"
 #include "rng/distributions.hpp"
 #include "sim/concepts.hpp"
 #include "sim/event_queue.hpp"
@@ -171,6 +172,68 @@ AsyncRunResult run_continuous(P& proto, Xoshiro256& rng, double max_time,
       proto.on_tick(u, rng);
     }
     ++batch.next;
+    ++result.ticks;
+  }
+  result.time = proto.done() ? now : max_time;
+  obs(result.time, proto);
+  result.consensus = proto.table().has_consensus();
+  if (result.consensus) result.winner = proto.table().consensus_color();
+  return result;
+}
+
+/// The batched-sampling variant of run_continuous (--sampling=batch):
+/// the per-tick (node, wait) pairs come from a lane-parallel
+/// Xoshiro256Block (rng/batch.hpp) in blocks of kBlockTicks, while the
+/// protocol's own draws stay on the scalar `rng` stream. Same exact
+/// superposition process and the same observer/perturbation semantics
+/// as run_continuous; NOT bit-identical to it for a fixed seed (the
+/// block interleaves eight expanded streams where the scalar path
+/// consumes one), which is why the scalar engine stays the default.
+/// The block is seeded by one draw from `rng`, so a fixed seed is still
+/// fully deterministic. Equivalence is pinned by the KS/moment gates in
+/// tests/test_batch_rng.cpp.
+template <AsyncProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_continuous_batch(P& proto, Xoshiro256& rng,
+                                    double max_time, Obs&& obs = Obs{},
+                                    double sample_every = 1.0,
+                                    Perturber* perturb = nullptr) {
+  PC_EXPECTS(max_time > 0.0);
+  PC_EXPECTS(sample_every > 0.0);
+  const std::uint64_t n = proto.num_nodes();
+  PC_EXPECTS(n >= 1);
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  constexpr std::size_t kBlockTicks = 256;
+  Xoshiro256Block block(rng());
+  NodeId nodes[kBlockTicks];
+  double waits[kBlockTicks];
+  std::size_t next = kBlockTicks;
+
+  AsyncRunResult result;
+  double now = 0.0;
+  double next_sample = 0.0;
+  while (!(proto.done() &&
+           (perturb == nullptr || perturb->exhausted()))) {
+    if (next == kBlockTicks) {
+      block.fill_uniform_below(n, nodes);
+      block.fill_exponential_unit(waits);
+      next = 0;
+    }
+    const double tick_time = now + waits[next] * inv_n;
+    if (tick_time > max_time) break;
+    if (perturb != nullptr && perturb->next_time() <= tick_time) {
+      detail::drain_perturbations(perturb, tick_time, proto);
+    }
+    now = tick_time;
+    while (next_sample <= now) {
+      obs(next_sample, proto);
+      next_sample += sample_every;
+    }
+    const NodeId u = nodes[next];
+    if (perturb == nullptr || perturb->allows_tick(u)) {
+      proto.on_tick(u, rng);
+    }
+    ++next;
     ++result.ticks;
   }
   result.time = proto.done() ? now : max_time;

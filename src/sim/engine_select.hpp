@@ -93,13 +93,20 @@ constexpr EngineKind effective_engine_kind(EngineKind kind) noexcept {
 /// optional Perturber (sim/perturb.hpp) is drained by whichever engine
 /// runs — event-time order on the single-stream engines, epoch
 /// boundaries on the sharded one.
+///
+/// `tuning` (sim/sharded_engine.hpp) maps onto the engines as follows:
+/// the sharded engine honors all three knobs; the superposition engine
+/// honors --sampling=batch via run_continuous_batch; exact_reads and
+/// numa are sharded-engine concepts and are no-ops elsewhere (the
+/// single-stream engines are already exact and single-threaded).
 template <AsyncProtocol P, typename Obs = NullObserver>
 AsyncRunResult run_async_engine(EngineKind kind, P& proto, Xoshiro256& rng,
                                 std::uint64_t seed_for_shards,
                                 unsigned shards, double max_time,
                                 Obs&& obs = Obs{},
                                 double sample_every = 1.0,
-                                Perturber* perturb = nullptr) {
+                                Perturber* perturb = nullptr,
+                                const EngineTuning& tuning = {}) {
   switch (effective_engine_kind<P>(kind)) {
     case EngineKind::kSequential:
       return run_sequential(proto, rng, max_time, std::forward<Obs>(obs),
@@ -109,6 +116,11 @@ AsyncRunResult run_async_engine(EngineKind kind, P& proto, Xoshiro256& rng,
                                  std::forward<Obs>(obs), sample_every,
                                  perturb);
     case EngineKind::kSuperposition:
+      if (tuning.sampling == SamplingMode::kBatch) {
+        return run_continuous_batch(proto, rng, max_time,
+                                    std::forward<Obs>(obs), sample_every,
+                                    perturb);
+      }
       return run_continuous(proto, rng, max_time, std::forward<Obs>(obs),
                             sample_every, perturb);
     case EngineKind::kSharded:
@@ -118,7 +130,7 @@ AsyncRunResult run_async_engine(EngineKind kind, P& proto, Xoshiro256& rng,
         return run_sharded(proto, seed_for_shards, shards, max_time,
                            std::forward<Obs>(obs), sample_every,
                            /*epoch_length=*/0.25, /*snapshot_reads=*/false,
-                           perturb);
+                           perturb, tuning);
       }
       break;
   }
@@ -144,11 +156,14 @@ AsyncRunResult run_sharded_latency(P& proto, const LatencyModel& latency,
                                    std::uint64_t seed, unsigned shards,
                                    double max_time, Obs&& obs = Obs{},
                                    double sample_every = 1.0,
-                                   double epoch_length = 0.25) {
+                                   double epoch_length = 0.25,
+                                   const EngineTuning& tuning = {}) {
   switch (latency.kind()) {
     case LatencyKind::kZero:
       return run_sharded(proto, seed, shards, max_time,
-                         std::forward<Obs>(obs), sample_every, epoch_length);
+                         std::forward<Obs>(obs), sample_every, epoch_length,
+                         /*snapshot_reads=*/false, /*perturb=*/nullptr,
+                         tuning);
     case LatencyKind::kConstant:
       // Sample boundaries truncate epochs (run_sharded caps dt at the
       // next boundary), which would silently shrink the fold's read

@@ -1,0 +1,38 @@
+#include "sim/numa.hpp"
+
+#include <thread>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace plurality::numa {
+
+bool bind_supported() noexcept {
+#ifdef __linux__
+  return true;
+#else
+  return false;
+#endif
+}
+
+void pin_lane([[maybe_unused]] unsigned lane,
+              [[maybe_unused]] unsigned lanes) noexcept {
+#ifdef __linux__
+  if (lanes == 0) return;
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned cpu =
+      static_cast<unsigned>((static_cast<std::uint64_t>(lane) * ncpu) /
+                            lanes) %
+      ncpu;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(static_cast<int>(cpu), &mask);
+  // Best-effort: a failure (restricted cgroup mask, exotic topology)
+  // leaves the thread on the scheduler's choice, which is the `off`
+  // behavior — never an error.
+  (void)sched_setaffinity(0, sizeof(mask), &mask);
+#endif
+}
+
+}  // namespace plurality::numa

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file numa.hpp
+/// NUMA-aware placement for the sharded engine's hot arrays, behind the
+/// `--numa=` knob:
+///
+///   - off        — historical behavior: the main thread allocates and
+///                  initializes live/snapshot, so on a multi-socket box
+///                  every page lands on the allocating thread's node;
+///   - firsttouch — live/snapshot (and each shard's delta row) are
+///                  allocated *uninitialized* and first written by the
+///                  worker lane that owns the shard range, so the OS
+///                  places each page on the node that will hammer it;
+///   - bind       — firsttouch plus explicit worker pinning: lane k is
+///                  pinned to CPU floor(k * ncpu / lanes), spreading
+///                  lanes evenly across the topology so first-touch
+///                  placement stays stable for the whole run.
+///
+/// All three modes are trajectory-neutral: placement and pinning never
+/// touch an RNG stream, so results stay bit-identical across modes (the
+/// same contract --jobs= has). Pinning uses sched_setaffinity and is
+/// Linux-only; off-Linux, bind degrades to firsttouch with no error —
+/// the knob is a performance hint, not a correctness switch.
+
+#include <cstdint>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace plurality {
+
+enum class NumaMode : std::uint8_t {
+  kOff,         ///< main-thread allocation + initialization (historical)
+  kFirstTouch,  ///< shard-local arrays first written by the owning lane
+  kBind,        ///< first-touch + explicit lane-to-CPU pinning (Linux)
+};
+
+inline const char* numa_mode_name(NumaMode mode) noexcept {
+  switch (mode) {
+    case NumaMode::kOff: return "off";
+    case NumaMode::kFirstTouch: return "firsttouch";
+    case NumaMode::kBind: return "bind";
+  }
+  return "unknown";
+}
+
+/// Parses a `--numa=` value; throws ContractViolation (naming the flag)
+/// on anything unrecognized.
+inline NumaMode parse_numa_mode(const std::string& name) {
+  if (name == "off") return NumaMode::kOff;
+  if (name == "firsttouch") return NumaMode::kFirstTouch;
+  if (name == "bind") return NumaMode::kBind;
+  throw ContractViolation("--numa=" + name +
+                          " is not one of off|firsttouch|bind");
+}
+
+namespace numa {
+
+/// True when explicit thread pinning is available on this platform
+/// (Linux). `bind` silently behaves like `firsttouch` elsewhere.
+bool bind_supported() noexcept;
+
+/// Pins the calling thread to one CPU chosen by spreading `lanes`
+/// evenly over the online CPUs (lane k -> CPU floor(k * ncpu / lanes)).
+/// No-op off-Linux or when pinning fails (a restricted affinity mask is
+/// not an error — the knob is best-effort).
+void pin_lane(unsigned lane, unsigned lanes) noexcept;
+
+}  // namespace numa
+
+}  // namespace plurality

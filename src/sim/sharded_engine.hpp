@@ -29,6 +29,31 @@
 /// shard count (and with it the trajectory) never depends on how many
 /// threads were actually available.
 ///
+/// Memory layout (opinion/packed.hpp): the engine's live and snapshot
+/// color arrays are *packed* at the table's resolved u8/u16/u32 width
+/// in 64-byte-aligned slabs, and the epoch body is instantiated once
+/// per width with typed pointers — a k <= 256 run streams 1 byte per
+/// node per array instead of 4. Per-shard support deltas live in one
+/// cache-line-padded slab (ShardDeltaSlab) so workers never false-share
+/// counter lines. Width never touches an RNG stream: trajectories are
+/// bit-identical across widths for a fixed (seed, shards).
+///
+/// EngineTuning composes three orthogonal performance/exactness knobs:
+///   - sampling (--sampling=scalar|batch): batch mode draws each
+///     epoch's node indices through rng/batch.hpp's lane-parallel
+///     Xoshiro256Block (a per-shard stream separate from the shard's
+///     scalar stream, derived from the same SeedSequence) instead of
+///     one scalar draw per tick. Statistically equivalent, not
+///     bit-identical — the default stays scalar so baselines survive;
+///   - numa (--numa=off|firsttouch|bind): first-touch initialization
+///     of live/snapshot/delta arrays on the owning worker lane, and
+///     optional explicit lane pinning (sim/numa.hpp). Trajectory-
+///     neutral; off-Linux, bind degrades to firsttouch;
+///   - exact_reads (--exact-reads): replaces the epoch-stale foreign
+///     reads with a distribution-*exact* two-phase schedule — see
+///     run_sharded_exact below — trading parallel tick application for
+///     parallel randomness generation.
+///
 /// Topology: protocols sample neighbors themselves (propose/query take
 /// the shard's RNG), so the engine runs on *any* GraphTopology — the
 /// clique, and every factory family, ideally through the flat
@@ -37,8 +62,8 @@
 ///
 /// The foreign-read staleness is the one deliberate deviation from the
 /// exact process; shrinking `epoch_length` shrinks it (at the cost of
-/// more barriers), and the engine equivalence tests pin the
-/// consensus-time agreement statistically.
+/// more barriers), `exact_reads` removes it entirely, and the engine
+/// equivalence tests pin the consensus-time agreement statistically.
 ///
 /// Edge latencies (sim/latency.hpp) integrate in two ways:
 ///   - run_sharded can *fold* a constant latency c into its epoch
@@ -55,6 +80,7 @@
 ///     so deliveries never cross shards and the epoch merge stays
 ///     deterministic.
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -66,11 +92,14 @@
 #include <vector>
 
 #include "jobs/budget.hpp"
+#include "opinion/packed.hpp"
+#include "rng/batch.hpp"
 #include "rng/distributions.hpp"
 #include "rng/seed.hpp"
 #include "sim/concepts.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
+#include "sim/numa.hpp"
 #include "sim/observers.hpp"
 #include "sim/perturb.hpp"
 #include "sim/result.hpp"
@@ -79,13 +108,26 @@
 
 namespace plurality {
 
+/// The sharded engine's performance/exactness knobs (see file header).
+/// The default tuple is the historical engine: scalar draws, main-
+/// thread allocation, epoch-stale foreign reads — bit-identical to
+/// every checked-in baseline.
+struct EngineTuning {
+  SamplingMode sampling = SamplingMode::kScalar;
+  NumaMode numa = NumaMode::kOff;
+  bool exact_reads = false;
+};
+
 /// Read view handed to ShardableProtocol::propose: live colors for the
 /// calling shard's own nodes, the epoch-start snapshot for everyone
-/// else.
-class ShardView {
+/// else. Templated over the packed element width; protocols' propose()
+/// is a template over the view type, so one protocol serves every
+/// width.
+template <typename T>
+class PackedShardView {
  public:
-  ShardView(const ColorId* live, const ColorId* snapshot, NodeId lo,
-            NodeId hi) noexcept
+  PackedShardView(const T* live, const T* snapshot, NodeId lo,
+                  NodeId hi) noexcept
       : live_(live), snapshot_(snapshot), lo_(lo), hi_(hi) {}
 
   ColorId color(NodeId v) const noexcept {
@@ -93,11 +135,16 @@ class ShardView {
   }
 
  private:
-  const ColorId* live_;
-  const ColorId* snapshot_;
+  const T* live_;
+  const T* snapshot_;
   NodeId lo_;
   NodeId hi_;
 };
+
+/// The view type the concepts below are checked against (protocols take
+/// the view as a template parameter, so satisfying the u32 form implies
+/// the u8/u16 forms).
+using ShardView = PackedShardView<ColorId>;
 
 /// A protocol the sharded engine can drive: its tick must be expressible
 /// as a pure color proposal off a read view (no side effects beyond the
@@ -148,11 +195,17 @@ namespace detail {
 /// executor) the pool degrades to running all shards on the caller,
 /// bit-identically. With one shard — or zero granted lanes — the work
 /// runs inline and no worker is spawned.
+///
+/// Under NumaMode::kBind each *worker* thread pins itself to one CPU
+/// spread evenly over the box before first parking (numa::pin_lane);
+/// the calling thread is never pinned — constraining the caller would
+/// outlive the run. Pinning is trajectory-neutral.
 class ShardWorkerPool {
  public:
   ShardWorkerPool(std::uint64_t shards,
-                  std::function<void(std::uint64_t)> work)
-      : work_(std::move(work)), shards_(shards) {
+                  std::function<void(std::uint64_t)> work,
+                  NumaMode numa = NumaMode::kOff)
+      : work_(std::move(work)), shards_(shards), numa_(numa) {
     if (shards <= 1) return;
     granted_ = jobs::ThreadBudget::global().acquire(
         static_cast<unsigned>(shards - 1));
@@ -224,6 +277,7 @@ class ShardWorkerPool {
   }
 
   void worker_loop(unsigned lane) {
+    if (numa_ == NumaMode::kBind) numa::pin_lane(lane, lanes_);
     std::uint64_t seen = 0;
     for (;;) {
       {
@@ -252,6 +306,7 @@ class ShardWorkerPool {
 
   std::function<void(std::uint64_t)> work_;
   std::uint64_t shards_ = 0;
+  NumaMode numa_ = NumaMode::kOff;
   unsigned granted_ = 0;  // budget tokens held for the pool's lifetime
   unsigned lanes_ = 1;
   std::mutex mutex_;
@@ -281,71 +336,96 @@ inline std::uint64_t resolve_shards(unsigned num_shards,
   return std::min<std::uint64_t>(num_shards, n);
 }
 
-}  // namespace detail
+/// Node draws for one epoch are pulled through a bounded per-shard
+/// buffer in batch mode, so the resident cost is constant per shard
+/// instead of one word per tick.
+inline constexpr std::size_t kNodeBatch = 4096;
 
-/// Runs `proto` under Poisson(1) clocks until done() or `max_time`,
-/// spread across `num_shards` threads (0 picks the hardware
-/// concurrency). Deterministic for a fixed (seed, num_shards,
-/// epoch_length, snapshot_reads) tuple. done() is polled at epoch
-/// boundaries only, so a run can overshoot consensus by up to one
-/// epoch of ticks; when cut off by the horizon, result.time reports
-/// `max_time`.
-///
-/// `snapshot_reads` = false (default): same-shard neighbor reads are
-/// live, foreign reads are at most one epoch stale. `snapshot_reads` =
-/// true: *all* neighbor reads come from the epoch-start snapshot and
-/// only the node's own color is live — the constant-latency fold
-/// described in the file header (pair it with `epoch_length` set to
-/// the latency).
-///
-/// Perturbations (sim/perturb.hpp) drain on the *main thread at epoch
-/// boundaries* with the workers parked: each event applies at the
-/// first boundary at or after its time (epoch-quantized, never
-/// reordered), writing table + live + snapshot together so the next
-/// epoch's reads see it coherently. Crash suppression is a read-only
-/// bitmap lookup in the worker tick loop, stable within an epoch. The
-/// run continues past transient consensus until the driver is
-/// exhausted. Determinism for a fixed (seed, num_shards) is preserved:
-/// the driver owns its RNG stream and drains only between epochs.
-template <ShardableProtocol P, typename Obs = NullObserver>
-AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
-                           double max_time, Obs&& obs = Obs{},
-                           double sample_every = 1.0,
-                           double epoch_length = 0.25,
-                           bool snapshot_reads = false,
-                           Perturber* perturb = nullptr) {
-  PC_EXPECTS(max_time > 0.0);
-  PC_EXPECTS(sample_every > 0.0);
-  PC_EXPECTS(epoch_length > 0.0);
+/// The live/snapshot pair of one sharded run, built according to the
+/// NUMA mode: `off` packs both on the calling thread; the first-touch
+/// modes return *uninitialized* slabs the caller must fill through an
+/// init epoch on the worker pool (each lane packing its own shards'
+/// ranges) before the first tick epoch.
+struct EngineBuffers {
+  PackedColors live;
+  PackedColors snapshot;
+};
+
+inline EngineBuffers make_buffers(const PackedColors& source,
+                                  NumaMode numa) {
+  EngineBuffers out;
+  if (numa == NumaMode::kOff) {
+    out.live = source.clone();
+    out.snapshot = source.clone();
+  } else {
+    out.live = PackedColors::uninitialized(source.size(), source.width());
+    out.snapshot =
+        PackedColors::uninitialized(source.size(), source.width());
+  }
+  return out;
+}
+
+/// The width-typed body of run_sharded (dispatched once per run on the
+/// table's resolved width; see run_sharded below for the contract).
+template <typename T, typename P, typename Obs>
+AsyncRunResult run_sharded_impl(P& proto, std::uint64_t seed,
+                                std::uint64_t shards, double max_time,
+                                Obs&& obs, double sample_every,
+                                double epoch_length, bool snapshot_reads,
+                                Perturber* perturb,
+                                const EngineTuning& tuning) {
   const std::uint64_t n = proto.num_nodes();
-  PC_EXPECTS(n >= 1);
-
-  const std::uint64_t shards = detail::resolve_shards(num_shards, n);
   const ColorId num_colors = proto.table().num_colors();
+  const bool batch = tuning.sampling == SamplingMode::kBatch;
+  const bool first_touch = tuning.numa != NumaMode::kOff;
 
-  const auto initial = proto.table().colors();
-  std::vector<ColorId> live(initial.begin(), initial.end());
-  std::vector<ColorId> snapshot = live;
+  EngineBuffers buffers = make_buffers(proto.table().packed_colors(),
+                                       tuning.numa);
+  // Deltas stay zero-initialized by the owner lane under first-touch.
+  ShardDeltaSlab deltas(shards, num_colors, /*deferred_init=*/first_touch);
 
-  struct Shard {
+  struct alignas(64) Shard {
     NodeId lo = 0;
     NodeId hi = 0;
     Xoshiro256 rng{0};
     std::vector<NodeId> changed;
-    std::vector<std::int64_t> delta;
+    std::vector<NodeId> node_buf;  // batch mode: bounded draw buffer
     std::uint64_t ticks = 0;
     std::exception_ptr error;
   };
   const SeedSequence streams(seed);
   std::vector<Shard> pool(shards);
+  std::vector<Xoshiro256Block> blocks;  // batch mode: per-shard streams
+  if (batch) blocks.reserve(shards);
   for (std::uint64_t s = 0; s < shards; ++s) {
     std::tie(pool[s].lo, pool[s].hi) = detail::shard_range(n, s, shards);
     pool[s].rng = streams.make_rng(s);
-    pool[s].delta.assign(num_colors, 0);
+    if (batch) {
+      // A stream index disjoint from every shard's scalar stream: the
+      // node-draw block and the protocol draws never share words.
+      blocks.emplace_back(streams.stream(shards + s));
+      pool[s].node_buf.resize(kNodeBatch);
+    }
   }
 
+  bool initializing = first_touch;
   double epoch_dt = 0.0;  // written before each barrier, read by workers
-  const auto run_epoch_in = [&](Shard& shard) {
+  const auto init_shard = [&](std::uint64_t s) {
+    // First touch: the owning lane performs the first write to its
+    // ranges of live, snapshot and the delta row, so their pages land
+    // on the lane's NUMA node.
+    try {
+      const Shard& shard = pool[s];
+      buffers.live.copy_range_from(proto.table().packed_colors(), shard.lo,
+                                   shard.hi);
+      buffers.snapshot.copy_range_from(buffers.live, shard.lo, shard.hi);
+      deltas.clear(s);
+    } catch (...) {
+      pool[s].error = std::current_exception();
+    }
+  };
+  const auto run_epoch_in = [&](std::uint64_t s) {
+    Shard& shard = pool[s];
     try {
       const bool traced = trace::enabled();
       const std::int64_t span_t0 = traced ? trace::now_ns() : 0;
@@ -353,30 +433,47 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
       const std::uint64_t n_s = shard.hi - shard.lo;
       const std::uint64_t ticks =
           poisson(shard.rng, static_cast<double>(n_s) * dt);
-      const ShardView shard_view(live.data(), snapshot.data(), shard.lo,
-                                 shard.hi);
-      ColorId* colors = live.data();
-      for (std::uint64_t t = 0; t < ticks; ++t) {
-        const auto u = static_cast<NodeId>(
-            shard.lo + uniform_below(shard.rng, n_s));
-        // Crashed nodes' clocks are dead: the tick is swallowed (the
-        // bitmap is stable within an epoch — drains happen between
-        // epochs on the main thread).
-        if (perturb != nullptr && !perturb->allows_tick(u)) continue;
-        // In snapshot_reads mode only the ticking node itself is read
-        // live; every neighbor read hits the epoch-start snapshot.
-        const ShardView view =
-            snapshot_reads
-                ? ShardView(live.data(), snapshot.data(), u, u + 1)
-                : shard_view;
-        const ColorId next = proto.propose(u, view, shard.rng);
-        const ColorId old = colors[u];
-        if (next != old) {
-          colors[u] = next;
-          --shard.delta[old];
-          ++shard.delta[next];
-          shard.changed.push_back(u);
+      T* colors = buffers.live.template data<T>();
+      const T* snap = buffers.snapshot.template data<T>();
+      const PackedShardView<T> shard_view(colors, snap, shard.lo, shard.hi);
+      const std::span<std::int64_t> delta = deltas.shard(s);
+      std::uint64_t done = 0;
+      while (done < ticks) {
+        // Scalar mode runs one full-epoch chunk with per-tick draws;
+        // batch mode refills the node buffer through the lane-parallel
+        // block stream and consumes it in the same tick loop.
+        const std::uint64_t chunk =
+            batch ? std::min<std::uint64_t>(kNodeBatch, ticks - done)
+                  : ticks - done;
+        if (batch) {
+          blocks[s].fill_uniform_below(
+              n_s, std::span<NodeId>(shard.node_buf.data(),
+                                     static_cast<std::size_t>(chunk)));
         }
+        for (std::uint64_t t = 0; t < chunk; ++t) {
+          const auto u = static_cast<NodeId>(
+              shard.lo + (batch ? shard.node_buf[t]
+                                : static_cast<NodeId>(
+                                      uniform_below(shard.rng, n_s))));
+          // Crashed nodes' clocks are dead: the tick is swallowed (the
+          // bitmap is stable within an epoch — drains happen between
+          // epochs on the main thread).
+          if (perturb != nullptr && !perturb->allows_tick(u)) continue;
+          // In snapshot_reads mode only the ticking node itself is read
+          // live; every neighbor read hits the epoch-start snapshot.
+          const PackedShardView<T> view =
+              snapshot_reads ? PackedShardView<T>(colors, snap, u, u + 1)
+                             : shard_view;
+          const ColorId next = proto.propose(u, view, shard.rng);
+          const ColorId old = colors[u];
+          if (next != old) {
+            colors[u] = static_cast<T>(next);
+            --delta[old];
+            ++delta[next];
+            shard.changed.push_back(u);
+          }
+        }
+        done += chunk;
       }
       shard.ticks += ticks;
       if (traced) {
@@ -389,21 +486,41 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
   };
 
   detail::ShardWorkerPool workers(
-      shards, [&](std::uint64_t s) { run_epoch_in(pool[s]); });
+      shards,
+      [&](std::uint64_t s) {
+        if (initializing) {
+          init_shard(s);
+        } else {
+          run_epoch_in(s);
+        }
+      },
+      tuning.numa);
+  const auto rethrow_shard_errors = [&] {
+    for (auto& shard : pool) {
+      if (shard.error) std::rethrow_exception(shard.error);
+    }
+  };
+  if (first_touch) {
+    workers.run_epoch();  // the init epoch: pack ranges on owner lanes
+    initializing = false;
+    rethrow_shard_errors();
+  }
 
   AsyncRunResult result;
   const auto run_epoch = [&](double dt) {
     epoch_dt = dt;
     workers.run_epoch();
-    for (auto& shard : pool) {
-      if (shard.error) std::rethrow_exception(shard.error);
-    }
+    rethrow_shard_errors();
     OpinionTable& table = proto.mutable_table();
-    for (auto& shard : pool) {
-      table.merge_shard_deltas(shard.changed, live, shard.delta);
-      for (const NodeId u : shard.changed) snapshot[u] = live[u];
+    T* live = buffers.live.template data<T>();
+    T* snap = buffers.snapshot.template data<T>();
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      Shard& shard = pool[s];
+      table.merge_shard_deltas(shard.changed, buffers.live,
+                               deltas.shard(s));
+      for (const NodeId u : shard.changed) snap[u] = live[u];
       shard.changed.clear();
-      shard.delta.assign(num_colors, 0);
+      deltas.clear(s);
       result.ticks += shard.ticks;
       shard.ticks = 0;
     }
@@ -416,8 +533,8 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
     if (perturb == nullptr || perturb->next_time() > t) return;
     perturb->drain_until(t, proto.table(), [&](NodeId u, ColorId c) {
       proto.mutable_table().set_color(u, c);
-      live[u] = c;
-      snapshot[u] = c;
+      buffers.live.set(u, c);
+      buffers.snapshot.set(u, c);
     });
   };
   const auto running = [&] {
@@ -445,68 +562,271 @@ AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
   return result;
 }
 
-/// Runs `proto` under Poisson(1) clocks *and* a response-latency model,
-/// spread across `num_shards` threads: every (non-suppressed) tick
-/// issues a query whose sampled colors are read at query time; the
-/// answer travels for latency.sample() time units on the shard's own
-/// delivery queue (the querier receives its own answer, so deliveries
-/// never cross shards) and the update rule is applied at delivery.
-/// Under QueryDiscipline::kBlocking a node with an answer in flight
-/// skips its ticks until the answer lands — the Bankhamer et al.
-/// request/response regime; kFireAndForget queries on every tick.
+/// The distribution-exact sharded schedule (EngineTuning::exact_reads):
+/// every epoch splits into two phases.
 ///
-/// This is the general latency path of the sharded engine: it handles
-/// every sampleable model (const, exp, pareto, aging) exactly — delays
-/// cross epoch (and sample) boundaries on the persistent per-shard
-/// queues — leaving only the usual sharded-engine deviation, the
-/// epoch-start snapshot for *foreign* neighbor reads. Within an epoch
-/// each shard interleaves its superposition tick stream (sequential
-/// Exp(1)/n_s gaps, exact by memorylessness across epoch boundaries)
-/// with its queue head in nondecreasing event time, so a fixed
-/// (seed, num_shards, epoch_length) tuple is deterministic regardless
-/// of thread scheduling. done() is polled at epoch boundaries; when
-/// the horizon cuts the run, queries still in flight are dropped and
-/// result.time reports `max_time`.
+///   Phase 1 (parallel, worker pool): each shard draws its Poisson
+///   tick *count* for the epoch, then one (time, node) pair per tick —
+///   time uniform on [t0, t0 + dt) (arrivals of a Poisson process
+///   conditioned on their count are iid uniform), node uniform in the
+///   shard — and sorts its pairs by time.
 ///
-/// Perturbations drain at epoch boundaries exactly as in run_sharded.
-/// A crashed node additionally stops issuing queries, and answers
-/// delivered to it are dropped (its in-flight flag still clears, so a
-/// node crashed mid-flight does not wedge the blocking discipline's
-/// bookkeeping).
-template <DelayedShardableProtocol P, typename Obs = NullObserver>
-AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
-                                  QueryDiscipline discipline,
-                                  std::uint64_t seed, unsigned num_shards,
-                                  double max_time, Obs&& obs = Obs{},
-                                  double sample_every = 1.0,
-                                  double epoch_length = 0.25,
-                                  Perturber* perturb = nullptr) {
+///   Phase 2 (serial, main thread): the per-shard streams are k-way
+///   merged in nondecreasing time (ties broken by shard index;
+///   probability zero) and each tick's propose() runs against the
+///   *fully live* table — no snapshot, no staleness — drawing protocol
+///   randomness from the owning shard's stream in replay order.
+///
+/// The realized process is exactly the sequential superposition
+/// process: Poisson counts + iid-uniform times + uniform nodes is the
+/// Poisson(n) superposition restricted to the epoch, and live replay
+/// applies every update in event order. What remains parallel is the
+/// randomness generation and sorting; tick application is serial, so
+/// this mode is the *ground truth* the epoch-stale default is measured
+/// against (KS gates in tests/test_sharded_engine.cpp), not a fast
+/// path. Perturbations drain in exact event order, as on the
+/// single-stream engines. Deterministic for a fixed (seed, shards,
+/// epoch_length). Batch sampling does not compose with this mode (the
+/// registry rejects the flag pair).
+template <typename P, typename Obs>
+AsyncRunResult run_sharded_exact(P& proto, std::uint64_t seed,
+                                 std::uint64_t shards, double max_time,
+                                 Obs&& obs, double sample_every,
+                                 double epoch_length, Perturber* perturb,
+                                 const EngineTuning& tuning) {
+  const std::uint64_t n = proto.num_nodes();
+
+  struct Event {
+    double time;
+    NodeId node;
+  };
+  struct alignas(64) Shard {
+    NodeId lo = 0;
+    NodeId hi = 0;
+    Xoshiro256 rng{0};
+    std::vector<Event> events;
+    std::exception_ptr error;
+  };
+  const SeedSequence streams(seed);
+  std::vector<Shard> pool(shards);
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    std::tie(pool[s].lo, pool[s].hi) = detail::shard_range(n, s, shards);
+    pool[s].rng = streams.make_rng(s);
+  }
+
+  double epoch_t0 = 0.0;  // written before each barrier, read by workers
+  double epoch_dt = 0.0;
+  const auto generate_in = [&](Shard& shard) {
+    try {
+      const bool traced = trace::enabled();
+      const std::int64_t span_t0 = traced ? trace::now_ns() : 0;
+      const double t0 = epoch_t0;
+      const double dt = epoch_dt;
+      const std::uint64_t n_s = shard.hi - shard.lo;
+      const std::uint64_t ticks =
+          poisson(shard.rng, static_cast<double>(n_s) * dt);
+      shard.events.resize(ticks);
+      for (auto& event : shard.events) {
+        event.time = t0 + uniform_unit(shard.rng) * dt;
+        event.node = static_cast<NodeId>(
+            shard.lo + uniform_below(shard.rng, n_s));
+      }
+      // stable_sort: equal times (probability zero, but determinism
+      // must not hinge on it) keep their generation order.
+      std::stable_sort(
+          shard.events.begin(), shard.events.end(),
+          [](const Event& a, const Event& b) { return a.time < b.time; });
+      if (traced) {
+        trace::local_sink().shard_span(
+            span_t0, trace::now_ns() - span_t0, ticks);
+      }
+    } catch (...) {
+      shard.error = std::current_exception();
+    }
+  };
+
+  detail::ShardWorkerPool workers(
+      shards, [&](std::uint64_t s) { generate_in(pool[s]); }, tuning.numa);
+
+  /// propose() reads through the live table: no staleness by design.
+  struct LiveTableView {
+    const OpinionTable* table;
+    ColorId color(NodeId v) const { return table->color(v); }
+  };
+
+  AsyncRunResult result;
+  std::vector<std::size_t> head(shards, 0);
+  const auto run_epoch = [&](double t0, double dt) {
+    epoch_t0 = t0;
+    epoch_dt = dt;
+    workers.run_epoch();
+    for (auto& shard : pool) {
+      if (shard.error) std::rethrow_exception(shard.error);
+    }
+    // Serial replay in event-time order against the live table.
+    std::fill(head.begin(), head.end(), std::size_t{0});
+    const LiveTableView view{&proto.table()};
+    for (;;) {
+      std::uint64_t next_shard = shards;
+      double next_time = 0.0;
+      for (std::uint64_t s = 0; s < shards; ++s) {
+        if (head[s] == pool[s].events.size()) continue;
+        const double t = pool[s].events[head[s]].time;
+        if (next_shard == shards || t < next_time) {
+          next_shard = s;
+          next_time = t;
+        }
+      }
+      if (next_shard == shards) break;
+      const Event event = pool[next_shard].events[head[next_shard]++];
+      ++result.ticks;
+      if (perturb != nullptr && perturb->next_time() <= event.time) {
+        perturb->drain_until(event.time, proto.table(),
+                             [&](NodeId u, ColorId c) {
+                               proto.mutable_table().set_color(u, c);
+                             });
+      }
+      if (perturb != nullptr && !perturb->allows_tick(event.node)) continue;
+      const ColorId next =
+          proto.propose(event.node, view, pool[next_shard].rng);
+      if (next != proto.table().color(event.node)) {
+        proto.mutable_table().set_color(event.node, next);
+      }
+    }
+    for (auto& shard : pool) shard.events.clear();
+  };
+
+  const auto apply_perturbations = [&](double t) {
+    if (perturb == nullptr || perturb->next_time() > t) return;
+    perturb->drain_until(t, proto.table(), [&](NodeId u, ColorId c) {
+      proto.mutable_table().set_color(u, c);
+    });
+  };
+  const auto running = [&] {
+    return !(proto.done() &&
+             (perturb == nullptr || perturb->exhausted()));
+  };
+
+  double now = 0.0;
+  obs(now, proto);
+  while (now < max_time && running()) {
+    const double sample_end = std::min(now + sample_every, max_time);
+    while (now < sample_end && running()) {
+      const double dt = std::min(epoch_length, sample_end - now);
+      if (!(dt > 0.0)) break;  // floating-point residue at the boundary
+      run_epoch(now, dt);
+      now += dt;
+      apply_perturbations(now);
+    }
+    if (now < max_time && running()) obs(now, proto);
+  }
+  result.time = proto.done() ? now : max_time;
+  obs(result.time, proto);
+  result.consensus = proto.table().has_consensus();
+  if (result.consensus) result.winner = proto.table().consensus_color();
+  return result;
+}
+
+}  // namespace detail
+
+/// Runs `proto` under Poisson(1) clocks until done() or `max_time`,
+/// spread across `num_shards` threads (0 picks the hardware
+/// concurrency). Deterministic for a fixed (seed, num_shards,
+/// epoch_length, snapshot_reads, tuning) tuple. done() is polled at
+/// epoch boundaries only, so a run can overshoot consensus by up to one
+/// epoch of ticks; when cut off by the horizon, result.time reports
+/// `max_time`.
+///
+/// `snapshot_reads` = false (default): same-shard neighbor reads are
+/// live, foreign reads are at most one epoch stale. `snapshot_reads` =
+/// true: *all* neighbor reads come from the epoch-start snapshot and
+/// only the node's own color is live — the constant-latency fold
+/// described in the file header (pair it with `epoch_length` set to
+/// the latency). `tuning.exact_reads` removes the staleness entirely
+/// via the two-phase exact schedule (detail::run_sharded_exact); it
+/// cannot be combined with snapshot_reads.
+///
+/// Perturbations (sim/perturb.hpp) drain on the *main thread at epoch
+/// boundaries* with the workers parked: each event applies at the
+/// first boundary at or after its time (epoch-quantized, never
+/// reordered), writing table + live + snapshot together so the next
+/// epoch's reads see it coherently. (In exact_reads mode they drain in
+/// exact event order instead, like the single-stream engines.) Crash
+/// suppression is a read-only bitmap lookup in the worker tick loop,
+/// stable within an epoch. The run continues past transient consensus
+/// until the driver is exhausted. Determinism for a fixed (seed,
+/// num_shards) is preserved: the driver owns its RNG stream and drains
+/// only between epochs.
+template <ShardableProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_sharded(P& proto, std::uint64_t seed, unsigned num_shards,
+                           double max_time, Obs&& obs = Obs{},
+                           double sample_every = 1.0,
+                           double epoch_length = 0.25,
+                           bool snapshot_reads = false,
+                           Perturber* perturb = nullptr,
+                           const EngineTuning& tuning = {}) {
   PC_EXPECTS(max_time > 0.0);
   PC_EXPECTS(sample_every > 0.0);
   PC_EXPECTS(epoch_length > 0.0);
+  PC_EXPECTS(!(tuning.exact_reads && snapshot_reads));
   const std::uint64_t n = proto.num_nodes();
   PC_EXPECTS(n >= 1);
-
   const std::uint64_t shards = detail::resolve_shards(num_shards, n);
+  if (tuning.exact_reads) {
+    return detail::run_sharded_exact(proto, seed, shards, max_time,
+                                     std::forward<Obs>(obs), sample_every,
+                                     epoch_length, perturb, tuning);
+  }
+  // One width dispatch per run: the epoch body runs on typed pointers.
+  switch (proto.table().width()) {
+    case ColorWidth::kU8:
+      return detail::run_sharded_impl<std::uint8_t>(
+          proto, seed, shards, max_time, std::forward<Obs>(obs),
+          sample_every, epoch_length, snapshot_reads, perturb, tuning);
+    case ColorWidth::kU16:
+      return detail::run_sharded_impl<std::uint16_t>(
+          proto, seed, shards, max_time, std::forward<Obs>(obs),
+          sample_every, epoch_length, snapshot_reads, perturb, tuning);
+    case ColorWidth::kU32:
+      return detail::run_sharded_impl<std::uint32_t>(
+          proto, seed, shards, max_time, std::forward<Obs>(obs),
+          sample_every, epoch_length, snapshot_reads, perturb, tuning);
+  }
+  throw ContractViolation("unreachable color width");
+}
+
+namespace detail {
+
+/// The width-typed body of run_sharded_queued (see below).
+template <typename T, typename P, typename Obs>
+AsyncRunResult run_sharded_queued_impl(P& proto, const LatencyModel& latency,
+                                       QueryDiscipline discipline,
+                                       std::uint64_t seed,
+                                       std::uint64_t shards, double max_time,
+                                       Obs&& obs, double sample_every,
+                                       double epoch_length,
+                                       Perturber* perturb,
+                                       const EngineTuning& tuning) {
+  const std::uint64_t n = proto.num_nodes();
   const ColorId num_colors = proto.table().num_colors();
   const bool blocking = discipline == QueryDiscipline::kBlocking;
+  const bool first_touch = tuning.numa != NumaMode::kOff;
 
-  const auto initial = proto.table().colors();
-  std::vector<ColorId> live(initial.begin(), initial.end());
-  std::vector<ColorId> snapshot = live;
+  EngineBuffers buffers = make_buffers(proto.table().packed_colors(),
+                                       tuning.numa);
+  ShardDeltaSlab deltas(shards, num_colors, /*deferred_init=*/first_touch);
 
   struct Delivery {
     NodeId to;
     typename P::Query query;
   };
-  struct Shard {
+  struct alignas(64) Shard {
     NodeId lo = 0;
     NodeId hi = 0;
     Xoshiro256 rng{0};
     EventQueue<Delivery> deliveries;       // persists across epochs
     std::vector<std::uint8_t> pending;     // blocking: query in flight
     std::vector<NodeId> changed;
-    std::vector<std::int64_t> delta;
     std::uint64_t ticks = 0;
     std::exception_ptr error;
   };
@@ -515,13 +835,28 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
   for (std::uint64_t s = 0; s < shards; ++s) {
     std::tie(pool[s].lo, pool[s].hi) = detail::shard_range(n, s, shards);
     pool[s].rng = streams.make_rng(s);
-    pool[s].delta.assign(num_colors, 0);
-    if (blocking) pool[s].pending.assign(pool[s].hi - pool[s].lo, 0);
+    if (blocking && !first_touch) {
+      pool[s].pending.assign(pool[s].hi - pool[s].lo, 0);
+    }
   }
 
+  bool initializing = first_touch;
   double epoch_t0 = 0.0;  // written before each barrier, read by workers
   double epoch_dt = 0.0;
-  const auto run_epoch_in = [&](Shard& shard) {
+  const auto init_shard = [&](std::uint64_t s) {
+    try {
+      Shard& shard = pool[s];
+      buffers.live.copy_range_from(proto.table().packed_colors(), shard.lo,
+                                   shard.hi);
+      buffers.snapshot.copy_range_from(buffers.live, shard.lo, shard.hi);
+      deltas.clear(s);
+      if (blocking) shard.pending.assign(shard.hi - shard.lo, 0);
+    } catch (...) {
+      pool[s].error = std::current_exception();
+    }
+  };
+  const auto run_epoch_in = [&](std::uint64_t s) {
+    Shard& shard = pool[s];
     try {
       const bool traced = trace::enabled();
       const std::int64_t span_t0 = traced ? trace::now_ns() : 0;
@@ -530,9 +865,10 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
       const std::uint64_t n_s = shard.hi - shard.lo;
       const double inv_rate = 1.0 / static_cast<double>(n_s);
       const double t_end = epoch_t0 + epoch_dt;
-      const ShardView view(live.data(), snapshot.data(), shard.lo,
-                           shard.hi);
-      ColorId* colors = live.data();
+      T* colors = buffers.live.template data<T>();
+      const T* snap = buffers.snapshot.template data<T>();
+      const PackedShardView<T> view(colors, snap, shard.lo, shard.hi);
+      const std::span<std::int64_t> delta = deltas.shard(s);
       // Fresh first-gap draw each epoch: exact by memorylessness of the
       // shard's Poisson(n_s) tick process.
       double next_tick = epoch_t0 + exponential_unit(shard.rng) * inv_rate;
@@ -554,9 +890,9 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
               proto.apply_query(u, event.payload.query, view);
           const ColorId old = colors[u];
           if (next != old) {
-            colors[u] = next;
-            --shard.delta[old];
-            ++shard.delta[next];
+            colors[u] = static_cast<T>(next);
+            --delta[old];
+            ++delta[next];
             shard.changed.push_back(u);
           }
         } else {
@@ -592,22 +928,42 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
   };
 
   detail::ShardWorkerPool workers(
-      shards, [&](std::uint64_t s) { run_epoch_in(pool[s]); });
+      shards,
+      [&](std::uint64_t s) {
+        if (initializing) {
+          init_shard(s);
+        } else {
+          run_epoch_in(s);
+        }
+      },
+      tuning.numa);
+  const auto rethrow_shard_errors = [&] {
+    for (auto& shard : pool) {
+      if (shard.error) std::rethrow_exception(shard.error);
+    }
+  };
+  if (first_touch) {
+    workers.run_epoch();
+    initializing = false;
+    rethrow_shard_errors();
+  }
 
   AsyncRunResult result;
   const auto run_epoch = [&](double t0, double dt) {
     epoch_t0 = t0;
     epoch_dt = dt;
     workers.run_epoch();
-    for (auto& shard : pool) {
-      if (shard.error) std::rethrow_exception(shard.error);
-    }
+    rethrow_shard_errors();
     OpinionTable& table = proto.mutable_table();
-    for (auto& shard : pool) {
-      table.merge_shard_deltas(shard.changed, live, shard.delta);
-      for (const NodeId u : shard.changed) snapshot[u] = live[u];
+    T* live = buffers.live.template data<T>();
+    T* snap = buffers.snapshot.template data<T>();
+    for (std::uint64_t s = 0; s < shards; ++s) {
+      Shard& shard = pool[s];
+      table.merge_shard_deltas(shard.changed, buffers.live,
+                               deltas.shard(s));
+      for (const NodeId u : shard.changed) snap[u] = live[u];
       shard.changed.clear();
-      shard.delta.assign(num_colors, 0);
+      deltas.clear(s);
       result.ticks += shard.ticks;
       shard.ticks = 0;
     }
@@ -617,8 +973,8 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
     if (perturb == nullptr || perturb->next_time() > t) return;
     perturb->drain_until(t, proto.table(), [&](NodeId u, ColorId c) {
       proto.mutable_table().set_color(u, c);
-      live[u] = c;
-      snapshot[u] = c;
+      buffers.live.set(u, c);
+      buffers.snapshot.set(u, c);
     });
   };
   const auto running = [&] {
@@ -644,6 +1000,82 @@ AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
   result.consensus = proto.table().has_consensus();
   if (result.consensus) result.winner = proto.table().consensus_color();
   return result;
+}
+
+}  // namespace detail
+
+/// Runs `proto` under Poisson(1) clocks *and* a response-latency model,
+/// spread across `num_shards` threads: every (non-suppressed) tick
+/// issues a query whose sampled colors are read at query time; the
+/// answer travels for latency.sample() time units on the shard's own
+/// delivery queue (the querier receives its own answer, so deliveries
+/// never cross shards) and the update rule is applied at delivery.
+/// Under QueryDiscipline::kBlocking a node with an answer in flight
+/// skips its ticks until the answer lands — the Bankhamer et al.
+/// request/response regime; kFireAndForget queries on every tick.
+///
+/// This is the general latency path of the sharded engine: it handles
+/// every sampleable model (const, exp, pareto, aging) exactly — delays
+/// cross epoch (and sample) boundaries on the persistent per-shard
+/// queues — leaving only the usual sharded-engine deviation, the
+/// epoch-start snapshot for *foreign* neighbor reads. Within an epoch
+/// each shard interleaves its superposition tick stream (sequential
+/// Exp(1)/n_s gaps, exact by memorylessness across epoch boundaries)
+/// with its queue head in nondecreasing event time, so a fixed
+/// (seed, num_shards, epoch_length) tuple is deterministic regardless
+/// of thread scheduling. done() is polled at epoch boundaries; when
+/// the horizon cuts the run, queries still in flight are dropped and
+/// result.time reports `max_time`.
+///
+/// Of the tuning knobs only `numa` applies here: the sequential
+/// tick/queue interleave cannot consume block-refilled draws
+/// (--sampling=batch is silently scalar on this path), and
+/// `exact_reads` names a zero-latency schedule, so requesting it with
+/// a latency model is a contract violation.
+///
+/// Perturbations drain at epoch boundaries exactly as in run_sharded.
+/// A crashed node additionally stops issuing queries, and answers
+/// delivered to it are dropped (its in-flight flag still clears, so a
+/// node crashed mid-flight does not wedge the blocking discipline's
+/// bookkeeping).
+template <DelayedShardableProtocol P, typename Obs = NullObserver>
+AsyncRunResult run_sharded_queued(P& proto, const LatencyModel& latency,
+                                  QueryDiscipline discipline,
+                                  std::uint64_t seed, unsigned num_shards,
+                                  double max_time, Obs&& obs = Obs{},
+                                  double sample_every = 1.0,
+                                  double epoch_length = 0.25,
+                                  Perturber* perturb = nullptr,
+                                  const EngineTuning& tuning = {}) {
+  PC_EXPECTS(max_time > 0.0);
+  PC_EXPECTS(sample_every > 0.0);
+  PC_EXPECTS(epoch_length > 0.0);
+  if (tuning.exact_reads) {
+    throw ContractViolation(
+        "--exact-reads names the zero-latency sharded schedule; it "
+        "cannot be combined with a latency model's delivery queues");
+  }
+  const std::uint64_t n = proto.num_nodes();
+  PC_EXPECTS(n >= 1);
+  const std::uint64_t shards = detail::resolve_shards(num_shards, n);
+  switch (proto.table().width()) {
+    case ColorWidth::kU8:
+      return detail::run_sharded_queued_impl<std::uint8_t>(
+          proto, latency, discipline, seed, shards, max_time,
+          std::forward<Obs>(obs), sample_every, epoch_length, perturb,
+          tuning);
+    case ColorWidth::kU16:
+      return detail::run_sharded_queued_impl<std::uint16_t>(
+          proto, latency, discipline, seed, shards, max_time,
+          std::forward<Obs>(obs), sample_every, epoch_length, perturb,
+          tuning);
+    case ColorWidth::kU32:
+      return detail::run_sharded_queued_impl<std::uint32_t>(
+          proto, latency, discipline, seed, shards, max_time,
+          std::forward<Obs>(obs), sample_every, epoch_length, perturb,
+          tuning);
+  }
+  throw ContractViolation("unreachable color width");
 }
 
 }  // namespace plurality

@@ -57,6 +57,11 @@ RunOutput run_scaling(const std::vector<const char*>& scheduling_flags) {
   JsonValue& params = record["params"];
   params["jobs_effective"] = 0;
   params["threads"] = 0;
+  // Peak RSS is a host/allocator property, not a trajectory property —
+  // it legitimately differs across worker counts and even across
+  // identical reruns. numa_effective and bytes_per_node stay: both are
+  // deterministic functions of the flags and the sweep.
+  params["peak_rss_bytes"] = 0;
   // The trace summary documents the schedule (barrier waits, steals),
   // so like wall clock it differs across worker counts BY DESIGN; same
   // for the schedule-property trace series. Trajectory-property trace

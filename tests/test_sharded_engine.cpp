@@ -58,8 +58,10 @@ static_assert(!ShardableProtocol<CountOnly>);
 
 TEST(OpinionTableMerge, AppliesChangesAndDeltasInBulk) {
   OpinionTable table({0, 0, 1, 1, 2}, 3);
-  // Recolor node 0 -> 1 and node 4 -> 1 (color 2 dies out).
-  std::vector<ColorId> live = {1, 0, 1, 1, 1};
+  // Recolor node 0 -> 1 and node 4 -> 1 (color 2 dies out). The live
+  // buffer is packed at the table's resolved width, as in the engine.
+  const std::vector<ColorId> live_colors = {1, 0, 1, 1, 1};
+  const PackedColors live(live_colors, table.width());
   const std::vector<NodeId> changed = {0, 4};
   const std::vector<std::int64_t> delta = {-1, +2, -1};
   table.merge_shard_deltas(changed, live, delta);
@@ -74,7 +76,8 @@ TEST(OpinionTableMerge, AppliesChangesAndDeltasInBulk) {
 
 TEST(OpinionTableMerge, DuplicateChangedEntriesAreHarmless) {
   OpinionTable table({0, 1}, 2);
-  std::vector<ColorId> live = {1, 1};
+  const std::vector<ColorId> live_colors = {1, 1};
+  const PackedColors live(live_colors, table.width());
   const std::vector<NodeId> changed = {0, 0, 0};
   const std::vector<std::int64_t> delta = {-1, +1};
   table.merge_shard_deltas(changed, live, delta);
@@ -84,7 +87,8 @@ TEST(OpinionTableMerge, DuplicateChangedEntriesAreHarmless) {
 
 TEST(OpinionTableMerge, RejectsUnbalancedDeltas) {
   OpinionTable table({0, 1}, 2);
-  std::vector<ColorId> live = {0, 1};
+  const std::vector<ColorId> live_colors = {0, 1};
+  const PackedColors live(live_colors, table.width());
   const std::vector<NodeId> changed = {};
   const std::vector<std::int64_t> delta = {+1, 0};
   EXPECT_THROW(table.merge_shard_deltas(changed, live, delta),

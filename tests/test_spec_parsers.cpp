@@ -1,6 +1,6 @@
 // Property and round-trip tests for the CLI spec parsers — the
 // `--engine=`, `--graph=`, `--latency=`, `--perturb=`,
-// `--perturb-target=`, and `--trace=` axes. Three properties, each
+// `--perturb-target=`, `--trace=`, `--sampling=`, and `--numa=` axes. Three properties, each
 // checked exhaustively over the accepted vocabulary and then fuzzed
 // with 10k seeded random strings per parser (the CI sanitizer jobs run
 // this same binary under ASan/UBSan):
@@ -19,10 +19,12 @@
 #include <vector>
 
 #include "graph/factory.hpp"
+#include "rng/batch.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro256.hpp"
 #include "sim/engine_select.hpp"
 #include "sim/latency.hpp"
+#include "sim/numa.hpp"
 #include "sim/perturb.hpp"
 #include "support/assert.hpp"
 #include "trace/trace.hpp"
@@ -157,6 +159,26 @@ TEST(SpecParsers, TraceRoundTripsAndRejectsNamingTheFlag) {
       EXPECT_EQ(again.path, spec.path);
     }
   });
+}
+
+TEST(SpecParsers, SamplingRoundTripsAndRejectsNamingTheFlag) {
+  for (const SamplingMode mode :
+       {SamplingMode::kScalar, SamplingMode::kBatch}) {
+    EXPECT_EQ(parse_sampling_mode(sampling_mode_name(mode)), mode);
+  }
+  EXPECT_THROW(parse_sampling_mode("simd"), ContractViolation);
+  fuzz_parser("--sampling=", 707,
+              [](const std::string& s) { parse_sampling_mode(s); });
+}
+
+TEST(SpecParsers, NumaRoundTripsAndRejectsNamingTheFlag) {
+  for (const NumaMode mode :
+       {NumaMode::kOff, NumaMode::kFirstTouch, NumaMode::kBind}) {
+    EXPECT_EQ(parse_numa_mode(numa_mode_name(mode)), mode);
+  }
+  EXPECT_THROW(parse_numa_mode("interleave"), ContractViolation);
+  fuzz_parser("--numa=", 808,
+              [](const std::string& s) { parse_numa_mode(s); });
 }
 
 }  // namespace

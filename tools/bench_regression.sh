@@ -40,8 +40,13 @@ run --exp=late_adversary       --reps=3 --n=1024
 # make the series identity (and so the --series-z gate) host-dependent.
 run --exp=latency_models       --reps=4 --n=4096 --shards=1
 # Scale keeps this baseline above bench_diff's --min-seconds floor so
-# the M1b/M1c engine comparison is actually gated in CI.
-run --exp=microbench_engines   --reps=2 --iters=200000 --n=4096 --m1c_iters=2000000
+# the M1b/M1c engine comparison is actually gated in CI. The M1e
+# LLC-crossing ladder is pinned to a reduced 64k..1M sweep at a fixed
+# 2M-tick budget: big enough that the largest point leaves a typical
+# LLC (3 MB of hot state at n=1M) and the section clears the
+# min-seconds floor, small enough for every-PR CI.
+run --exp=microbench_engines   --reps=2 --iters=200000 --n=4096 --m1c_iters=2000000 \
+    --m1e_min_n=65536 --m1e_max_n=1048576 --m1e_iters=2000000
 run --exp=microbench_rng       --reps=2 --iters=100000
 run --exp=model_equivalence    --reps=3 --n=1024
 run --exp=one_extra_bit        --reps=2 --k=8 --max_k=16 --n=16384
